@@ -1,0 +1,64 @@
+// Command dig-inspect shows a kernel's Data Indirection Graph: the
+// hand-annotated registration (Fig. 6 path) next to the one derived by the
+// compiler analysis (Fig. 7/8 path), plus the registration calls the
+// instrumented binary would contain.
+//
+// Usage:
+//
+//	dig-inspect -algo bfs [-dataset po]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prodigy/internal/compiler"
+	"prodigy/internal/dig"
+	"prodigy/internal/graph"
+	"prodigy/internal/workloads"
+)
+
+func main() {
+	algo := flag.String("algo", "bfs", "algorithm: bc bfs cc pr sssp spmv symgs cg is")
+	dataset := flag.String("dataset", "po", "graph dataset (graph algorithms only)")
+	flag.Parse()
+
+	ds := *dataset
+	if !workloads.IsGraphAlgo(*algo) {
+		ds = ""
+	}
+	w, err := workloads.Build(*algo, ds, 1, workloads.Options{Scale: graph.ScaleTiny})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("=== manual annotation (Fig. 6 path) ===")
+	fmt.Println(w.DIG)
+	fmt.Printf("prefetch depth %d, look-ahead %d, storage %d bytes (16-entry tables)\n\n",
+		w.DIG.Depth(), dig.LookaheadForDepth(w.DIG.Depth()), w.DIG.StorageBits(16)/8)
+
+	f, err := compiler.KernelIR(*algo, compiler.ArraysFromSpace(w.Space))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("=== compiler-inserted registration calls (Fig. 7 path) ===")
+	for _, r := range compiler.Analyze(f) {
+		fmt.Println("  " + r.String())
+	}
+	derived, err := compiler.GenerateDIG(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("\n=== compiler-derived DIG ===")
+	fmt.Println(derived)
+	if dig.Equal(w.DIG, derived) {
+		fmt.Println("MATCH: compiler analysis derives the manual annotation exactly")
+	} else {
+		fmt.Println("MISMATCH between manual and derived DIGs")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Command prodigy-sim runs one workload on the simulated machine and
+// prints its CPI stack, cache behaviour, and prefetcher statistics.
+//
+// Usage:
+//
+//	prodigy-sim -algo bfs -dataset lj -scheme prodigy [-cores 8] [-tiny]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prodigy/internal/core"
+	"prodigy/internal/cpu"
+	"prodigy/internal/exp"
+	"prodigy/internal/stats"
+	"prodigy/internal/workloads"
+)
+
+func main() {
+	algo := flag.String("algo", "bfs", "algorithm: bc bfs cc pr sssp spmv symgs cg is")
+	dataset := flag.String("dataset", "lj", "graph dataset: po lj or sk wb (graph algorithms only)")
+	scheme := flag.String("scheme", "prodigy", "prefetcher: none stride ghb-gdc imp aj droplet software-pf prodigy")
+	cores := flag.Int("cores", 8, "core count")
+	tiny := flag.Bool("tiny", false, "use tiny datasets (fast smoke run)")
+	verify := flag.Bool("verify", true, "verify the workload output")
+	flag.Parse()
+
+	cfg := exp.Default()
+	cfg.Cores = *cores
+	cfg.Verify = *verify
+	if *tiny {
+		q := exp.Quick()
+		q.Cores = *cores
+		q.Verify = *verify
+		cfg = q
+	}
+	h := exp.New(cfg)
+
+	ds := *dataset
+	if !workloads.IsGraphAlgo(*algo) {
+		ds = ""
+	}
+	run, err := h.RunOne(*algo, ds, exp.Scheme(*scheme))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload %s  scheme %s  cores %d\n", run.Label, run.Scheme, cfg.Cores)
+	fmt.Printf("cycles %d   retired %d   IPC %.3f\n\n", run.Res.Cycles, run.Res.Agg.Retired, run.Res.IPC())
+
+	t := stats.NewTable("CPI stack (fraction of cycles)", "class", "fraction")
+	total := float64(run.Res.Agg.Total())
+	for _, k := range cpu.StallKinds {
+		t.AddRow(k.String(), float64(run.Res.Agg.Cycles[k])/total)
+	}
+	fmt.Println(t)
+
+	c := run.Res.Cache
+	t2 := stats.NewTable("Memory system", "counter", "value")
+	t2.AddRow("demand accesses", c.DemandAccesses)
+	t2.AddRow("L1 hits", c.DemandL1Hits)
+	t2.AddRow("L2 hits", c.DemandL2Hits)
+	t2.AddRow("L3 hits", c.DemandL3Hits)
+	t2.AddRow("DRAM accesses", c.DemandMem)
+	t2.AddRow("prefetch fills", c.PrefetchFills)
+	t2.AddRow("prefetch hits L1/L2/L3", fmt.Sprintf("%d/%d/%d", c.PrefetchL1Hits, c.PrefetchL2Hits, c.PrefetchL3Hits))
+	t2.AddRow("prefetch evicted unused", c.PrefetchEvicted)
+	t2.AddRow("late merges", run.Res.Sim.LateMerges)
+	t2.AddRow("DRAM utilization", fmt.Sprintf("%.1f%%", 100*run.Res.DRAMUtilization))
+	t2.AddRow("TLB miss rate", fmt.Sprintf("%.2f%%", 100*run.Res.TLBMissRate))
+	t2.AddRow("branches/mispredicts", fmt.Sprintf("%d/%d", run.Res.Branches, run.Res.Mispredicts))
+	fmt.Println(t2)
+
+	for i, p := range run.Res.Prefetchers {
+		if pp, ok := p.(*core.Prodigy); ok {
+			fmt.Printf("core %d prodigy: %+v\n", i, pp.Stats)
+		}
+	}
+
+	eb := exp.EnergyOf(run, cfg.Cores)
+	fmt.Printf("\nenergy (nJ): core %.0f  cache %.0f  dram %.0f  other %.0f  total %.0f\n",
+		eb.Core, eb.Cache, eb.DRAM, eb.Other, eb.Total())
+}

@@ -1,0 +1,47 @@
+// Design-space exploration example: how the PFHR file size and the
+// look-ahead distance shape Prodigy's speedup (the Fig. 12 experiment and
+// the Section IV-C1 distance heuristic), on one workload.
+//
+// Run: go run ./examples/dse
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prodigy"
+)
+
+func main() {
+	cfg := prodigy.QuickConfig()
+	h := prodigy.NewHarness(cfg)
+
+	base, err := h.RunOne("bfs", "lj", prodigy.SchemeNone)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("PFHR file size sweep on bfs-lj (speedup over no prefetching):")
+	r12, err := h.Fig12()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, sz := range r12.Sizes {
+		fmt.Printf("  %2d PFHRs: %.2fx vs 4-entry baseline\n", sz, r12.Speedup["bfs"][i])
+	}
+
+	fmt.Println("\nlook-ahead distance ablation (geomean over bfs/pr/spmv):")
+	la, err := h.AblationLookahead()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range la.Variants {
+		fmt.Printf("  %-10s %.2fx\n", v, la.Speedup[i])
+	}
+
+	pro, err := h.RunOne("bfs", "lj", prodigy.SchemeProdigy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndefault design point on bfs-lj: %.2fx\n", base.Speedup(pro))
+}

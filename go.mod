@@ -1,0 +1,3 @@
+module prodigy
+
+go 1.24

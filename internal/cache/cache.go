@@ -1,0 +1,525 @@
+// Package cache models the three-level inclusive write-back cache
+// hierarchy of Table I: private L1/L2 per core, a shared L3 with a
+// directory for MESI coherence, LRU replacement, and per-line prefetch
+// bookkeeping (usefulness by level, eviction-before-use) used by the
+// Fig. 15/16 experiments.
+//
+// Data values are not stored (the functional memory lives in
+// internal/memspace); the hierarchy tracks tags, states, and timing.
+package cache
+
+import "fmt"
+
+// MESI line states.
+const (
+	stInvalid uint8 = iota
+	stShared
+	stExclusive
+	stModified
+)
+
+// Level identifies where an access was serviced.
+type Level uint8
+
+// Service levels.
+const (
+	// LvlNone means "not present anywhere" (probe result).
+	LvlNone Level = iota
+	// LvlL1 .. LvlL3 are cache hits at that level.
+	LvlL1
+	LvlL2
+	LvlL3
+	// LvlMem means the access went to DRAM.
+	LvlMem
+)
+
+func (l Level) String() string {
+	switch l {
+	case LvlL1:
+		return "L1"
+	case LvlL2:
+		return "L2"
+	case LvlL3:
+		return "L3"
+	case LvlMem:
+		return "MEM"
+	}
+	return "none"
+}
+
+// Config sizes the hierarchy. Sizes are in bytes.
+type Config struct {
+	Cores    int
+	LineSize int
+
+	L1Size, L1Assoc int
+	L2Size, L2Assoc int
+	// L3Size is the total shared capacity (the paper's 2 MB/core slices,
+	// scaled).
+	L3Size, L3Assoc int
+
+	// Latencies are cumulative cycles to service a hit at each level.
+	L1Lat, L2Lat, L3Lat int
+}
+
+// ScaledDefault returns the Table I configuration with capacities scaled
+// 1/256 to match the scaled datasets (see DESIGN.md §2): L1 8 KB, L2 32 KB,
+// L3 128 KB shared, 64 B lines, latencies 2/6/30.
+func ScaledDefault(cores int) Config {
+	return Config{
+		Cores:    cores,
+		LineSize: 64,
+		L1Size:   8 << 10, L1Assoc: 4,
+		L2Size: 32 << 10, L2Assoc: 8,
+		L3Size: 128 << 10, L3Assoc: 16,
+		L1Lat: 2, L2Lat: 6, L3Lat: 30,
+	}
+}
+
+// line is one cache line's metadata.
+type line struct {
+	tag        uint64 // full line address + 1 (0 = invalid slot never used)
+	state      uint8
+	prefetched bool
+	used       bool // demanded at least once since fill
+	lru        uint32
+}
+
+// bank is one set-associative cache.
+type bank struct {
+	lines   []line
+	assoc   int
+	setMask uint64
+	tick    uint32
+	// sharers is per-set-way core presence (L3 directory only).
+	sharers []uint64
+}
+
+func newBank(sizeBytes, assoc, lineSize int, directory bool) *bank {
+	numSets := sizeBytes / lineSize / assoc
+	if numSets == 0 {
+		numSets = 1
+	}
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", numSets))
+	}
+	b := &bank{
+		lines:   make([]line, numSets*assoc),
+		assoc:   assoc,
+		setMask: uint64(numSets - 1),
+	}
+	if directory {
+		b.sharers = make([]uint64, numSets*assoc)
+	}
+	return b
+}
+
+func (b *bank) set(lineAddr uint64) []line {
+	s := int(lineAddr&b.setMask) * b.assoc
+	return b.lines[s : s+b.assoc]
+}
+
+// lookup returns the way index within the set, or -1.
+func (b *bank) lookup(lineAddr uint64) int {
+	set := b.set(lineAddr)
+	for i := range set {
+		if set[i].tag == lineAddr+1 {
+			return i
+		}
+	}
+	return -1
+}
+
+func (b *bank) way(lineAddr uint64, w int) *line {
+	s := int(lineAddr&b.setMask) * b.assoc
+	return &b.lines[s+w]
+}
+
+func (b *bank) sharersAt(lineAddr uint64, w int) *uint64 {
+	s := int(lineAddr&b.setMask) * b.assoc
+	return &b.sharers[s+w]
+}
+
+func (b *bank) touch(lineAddr uint64, w int) {
+	b.tick++
+	b.way(lineAddr, w).lru = b.tick
+}
+
+// victim picks the way to evict (an invalid way if any, else LRU).
+func (b *bank) victim(lineAddr uint64) int {
+	set := b.set(lineAddr)
+	best, bestLRU := 0, uint32(^uint32(0))
+	for i := range set {
+		if set[i].state == stInvalid {
+			return i
+		}
+		if set[i].lru < bestLRU {
+			best, bestLRU = i, set[i].lru
+		}
+	}
+	return best
+}
+
+// invalidate drops the line if present, returning its pre-invalidation
+// state.
+func (b *bank) invalidate(lineAddr uint64) (uint8, bool) {
+	w := b.lookup(lineAddr)
+	if w < 0 {
+		return stInvalid, false
+	}
+	ln := b.way(lineAddr, w)
+	st := ln.state
+	*ln = line{}
+	return st, true
+}
+
+// Stats aggregates hierarchy-wide counters.
+type Stats struct {
+	// Demand access counts and hits per level.
+	DemandAccesses uint64
+	DemandL1Hits   uint64
+	DemandL2Hits   uint64
+	DemandL3Hits   uint64
+	DemandMem      uint64
+
+	// LLCMisses counts demand accesses that missed the whole hierarchy
+	// (== DemandMem); kept separately for the Fig. 13/16 classifiers.
+	Writebacks    uint64
+	Invalidations uint64
+
+	// Prefetch bookkeeping (Fig. 15).
+	PrefetchFills   uint64
+	PrefetchL1Hits  uint64 // demand found prefetched-unused line in L1
+	PrefetchL2Hits  uint64
+	PrefetchL3Hits  uint64
+	PrefetchEvicted uint64 // prefetched line left hierarchy unused
+}
+
+// Hierarchy is the full multi-core cache system.
+type Hierarchy struct {
+	cfg       Config
+	lineShift uint
+	l1, l2    []*bank
+	l3        *bank
+	Stats     Stats
+	// OnL3Evict, when set, is called with the evicted line address
+	// (used by DROPLET-style prefetchers that watch DRAM traffic).
+	OnL3Evict func(lineAddr uint64)
+}
+
+// New builds a hierarchy from cfg.
+func New(cfg Config) *Hierarchy {
+	h := &Hierarchy{cfg: cfg}
+	for s := cfg.LineSize; s > 1; s >>= 1 {
+		h.lineShift++
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1 = append(h.l1, newBank(cfg.L1Size, cfg.L1Assoc, cfg.LineSize, false))
+		h.l2 = append(h.l2, newBank(cfg.L2Size, cfg.L2Assoc, cfg.LineSize, false))
+	}
+	h.l3 = newBank(cfg.L3Size, cfg.L3Assoc, cfg.LineSize, true)
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// LineAddr maps a byte address to its line address.
+func (h *Hierarchy) LineAddr(addr uint64) uint64 { return addr >> h.lineShift }
+
+// Result of a demand access.
+type Result struct {
+	// Lat is the access latency in cycles excluding any DRAM time (the
+	// caller adds the memory controller's latency when Level == LvlMem).
+	Lat int
+	// Level is where the access was serviced.
+	Level Level
+	// PrefetchHit is the level at which a prefetched-and-not-yet-demanded
+	// line satisfied this access (LvlNone if the hit was not
+	// prefetch-provided).
+	PrefetchHit Level
+}
+
+// Access performs a demand read (write=false) or write (write=true) by
+// core to the line containing addr, updating states and stats. The line is
+// filled on a miss (the caller accounts DRAM latency separately).
+func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
+	la := h.LineAddr(addr)
+	h.Stats.DemandAccesses++
+
+	// L1.
+	if w := h.l1[core].lookup(la); w >= 0 {
+		ln := h.l1[core].way(la, w)
+		h.l1[core].touch(la, w)
+		res := Result{Lat: h.cfg.L1Lat, Level: LvlL1}
+		if ln.prefetched && !ln.used {
+			res.PrefetchHit = LvlL1
+			h.Stats.PrefetchL1Hits++
+			h.markUsed(core, la)
+		}
+		ln.used = true
+		h.Stats.DemandL1Hits++
+		if write && ln.state != stModified {
+			h.upgrade(core, la)
+		}
+		return res
+	}
+
+	// L2.
+	if w := h.l2[core].lookup(la); w >= 0 {
+		ln := h.l2[core].way(la, w)
+		h.l2[core].touch(la, w)
+		res := Result{Lat: h.cfg.L2Lat, Level: LvlL2}
+		if ln.prefetched && !ln.used {
+			res.PrefetchHit = LvlL2
+			h.Stats.PrefetchL2Hits++
+			h.markUsed(core, la)
+		}
+		ln.used = true
+		st := ln.state
+		h.fillL1(core, la, st, ln.prefetched, true)
+		h.Stats.DemandL2Hits++
+		if write && st != stModified {
+			h.upgrade(core, la)
+		}
+		return res
+	}
+
+	// L3.
+	if w := h.l3.lookup(la); w >= 0 {
+		ln := h.l3.way(la, w)
+		h.l3.touch(la, w)
+		res := Result{Lat: h.cfg.L3Lat, Level: LvlL3}
+		if ln.prefetched && !ln.used {
+			res.PrefetchHit = LvlL3
+			h.Stats.PrefetchL3Hits++
+		}
+		ln.used = true
+		sh := h.l3.sharersAt(la, w)
+		state := h.serviceFromL3(core, la, sh, write)
+		h.fillPrivate(core, la, state, ln.prefetched, true)
+		*sh |= 1 << uint(core)
+		h.Stats.DemandL3Hits++
+		return res
+	}
+
+	// DRAM.
+	h.Stats.DemandMem++
+	state := uint8(stExclusive)
+	if write {
+		state = stModified
+	}
+	h.fillL3(core, la, state == stModified, false)
+	h.fillPrivate(core, la, state, false, true)
+	return Result{Lat: h.cfg.L3Lat, Level: LvlMem}
+}
+
+// serviceFromL3 handles coherence when core reads/writes a line present in
+// L3: downgrades or invalidates other cores' private copies as needed and
+// returns the state the requester's private copies should take.
+func (h *Hierarchy) serviceFromL3(core int, la uint64, sh *uint64, write bool) uint8 {
+	others := *sh &^ (1 << uint(core))
+	if write {
+		for c := 0; c < h.cfg.Cores; c++ {
+			if others&(1<<uint(c)) == 0 {
+				continue
+			}
+			if st, ok := h.l1[c].invalidate(la); ok && st == stModified {
+				h.Stats.Writebacks++
+			}
+			if st, ok := h.l2[c].invalidate(la); ok && st == stModified {
+				h.Stats.Writebacks++
+			}
+			h.Stats.Invalidations++
+		}
+		*sh = 1 << uint(core)
+		return stModified
+	}
+	if others == 0 {
+		return stExclusive
+	}
+	// Downgrade any modified owner to shared.
+	for c := 0; c < h.cfg.Cores; c++ {
+		if others&(1<<uint(c)) == 0 {
+			continue
+		}
+		for _, b := range []*bank{h.l1[c], h.l2[c]} {
+			if w := b.lookup(la); w >= 0 {
+				ln := b.way(la, w)
+				if ln.state == stModified || ln.state == stExclusive {
+					if ln.state == stModified {
+						h.Stats.Writebacks++
+					}
+					ln.state = stShared
+				}
+			}
+		}
+	}
+	return stShared
+}
+
+// upgrade acquires write permission for a line core already holds.
+func (h *Hierarchy) upgrade(core int, la uint64) {
+	for c := 0; c < h.cfg.Cores; c++ {
+		if c == core {
+			continue
+		}
+		if _, ok := h.l1[c].invalidate(la); ok {
+			h.Stats.Invalidations++
+		}
+		if _, ok := h.l2[c].invalidate(la); ok {
+			h.Stats.Invalidations++
+		}
+	}
+	for _, b := range []*bank{h.l1[core], h.l2[core]} {
+		if w := b.lookup(la); w >= 0 {
+			b.way(la, w).state = stModified
+		}
+	}
+	if w := h.l3.lookup(la); w >= 0 {
+		*h.l3.sharersAt(la, w) = 1 << uint(core)
+	}
+}
+
+// markUsed propagates the demanded bit down so Fig. 15 counts each
+// prefetched line once.
+func (h *Hierarchy) markUsed(core int, la uint64) {
+	for _, b := range []*bank{h.l1[core], h.l2[core], h.l3} {
+		if w := b.lookup(la); w >= 0 {
+			b.way(la, w).used = true
+		}
+	}
+}
+
+func (h *Hierarchy) fillPrivate(core int, la uint64, state uint8, prefetched, used bool) {
+	h.fillL2(core, la, state, prefetched, used)
+	h.fillL1(core, la, state, prefetched, used)
+}
+
+func (h *Hierarchy) fillL1(core int, la uint64, state uint8, prefetched, used bool) {
+	b := h.l1[core]
+	if w := b.lookup(la); w >= 0 {
+		b.touch(la, w)
+		return
+	}
+	w := b.victim(la)
+	set := b.set(la)
+	// A dirty L1 victim falls back to L2/L3 silently (inclusive hierarchy:
+	// the outer levels still hold the line and the directory bit).
+	set[w] = line{tag: la + 1, state: state, prefetched: prefetched, used: used}
+	b.touch(la, w)
+}
+
+func (h *Hierarchy) fillL2(core int, la uint64, state uint8, prefetched, used bool) {
+	b := h.l2[core]
+	if w := b.lookup(la); w >= 0 {
+		b.touch(la, w)
+		return
+	}
+	w := b.victim(la)
+	set := b.set(la)
+	if set[w].tag != 0 {
+		// L1 must stay a subset of L2.
+		victimAddr := set[w].tag - 1
+		h.l1[core].invalidate(victimAddr)
+	}
+	set[w] = line{tag: la + 1, state: state, prefetched: prefetched, used: used}
+	b.touch(la, w)
+}
+
+func (h *Hierarchy) fillL3(core int, la uint64, modified, prefetched bool) {
+	b := h.l3
+	if w := b.lookup(la); w >= 0 {
+		b.touch(la, w)
+		*b.sharersAt(la, w) |= 1 << uint(core)
+		return
+	}
+	w := b.victim(la)
+	set := b.set(la)
+	if set[w].tag != 0 {
+		victimAddr := set[w].tag - 1
+		h.evictL3(victimAddr, w)
+	}
+	st := uint8(stExclusive)
+	if modified {
+		st = stModified
+	}
+	set[w] = line{tag: la + 1, state: st, prefetched: prefetched}
+	*b.sharersAt(la, w) = 1 << uint(core)
+	b.touch(la, w)
+}
+
+// evictL3 back-invalidates every private copy (inclusive hierarchy) and
+// accounts writebacks and unused-prefetch evictions.
+func (h *Hierarchy) evictL3(victimAddr uint64, w int) {
+	ln := h.l3.way(victimAddr, w)
+	dirty := ln.state == stModified
+	for c := 0; c < h.cfg.Cores; c++ {
+		if st, ok := h.l1[c].invalidate(victimAddr); ok && st == stModified {
+			dirty = true
+		}
+		if st, ok := h.l2[c].invalidate(victimAddr); ok && st == stModified {
+			dirty = true
+		}
+	}
+	if dirty {
+		h.Stats.Writebacks++
+	}
+	if ln.prefetched && !ln.used {
+		h.Stats.PrefetchEvicted++
+	}
+	if h.OnL3Evict != nil {
+		h.OnL3Evict(victimAddr)
+	}
+}
+
+// TouchUsed marks addr's line as demanded. The engine calls this when a
+// demand access merged with the line while its prefetch was still in
+// flight, so the prefetch still counts as useful (it hid partial latency).
+func (h *Hierarchy) TouchUsed(core int, addr uint64) {
+	h.markUsed(core, h.LineAddr(addr))
+}
+
+// Probe reports the level at which addr currently resides for core, without
+// updating any state. Prefetchers use it to skip redundant requests.
+func (h *Hierarchy) Probe(core int, addr uint64) Level {
+	la := h.LineAddr(addr)
+	if h.l1[core].lookup(la) >= 0 {
+		return LvlL1
+	}
+	if h.l2[core].lookup(la) >= 0 {
+		return LvlL2
+	}
+	if h.l3.lookup(la) >= 0 {
+		return LvlL3
+	}
+	return LvlNone
+}
+
+// FillPrefetch installs a completed prefetch into core's L1 (non-binding
+// prefetches place data in the L1D per Section IV) and, for inclusion,
+// into L2/L3. fromLevel is where the prefetch was serviced; lines already
+// resident closer than L1 are just refreshed.
+func (h *Hierarchy) FillPrefetch(core int, addr uint64, fromLevel Level) {
+	h.fillPrefetchAt(core, addr, fromLevel, false)
+}
+
+// FillPrefetchL2 is FillPrefetch stopping at the L2.
+func (h *Hierarchy) FillPrefetchL2(core int, addr uint64, fromLevel Level) {
+	h.fillPrefetchAt(core, addr, fromLevel, true)
+}
+
+func (h *Hierarchy) fillPrefetchAt(core int, addr uint64, fromLevel Level, l2Only bool) {
+	la := h.LineAddr(addr)
+	h.Stats.PrefetchFills++
+	if fromLevel == LvlMem {
+		h.fillL3(core, la, false, true)
+	} else if w := h.l3.lookup(la); w >= 0 {
+		*h.l3.sharersAt(la, w) |= 1 << uint(core)
+		h.l3.touch(la, w)
+	}
+	h.fillL2(core, la, stShared, true, false)
+	if !l2Only {
+		h.fillL1(core, la, stShared, true, false)
+	}
+}

@@ -1,0 +1,266 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tinyConfig(cores int) Config {
+	return Config{
+		Cores:    cores,
+		LineSize: 64,
+		L1Size:   512, L1Assoc: 2, // 4 sets
+		L2Size: 1024, L2Assoc: 2, // 8 sets
+		L3Size: 4096, L3Assoc: 4, // 16 sets
+		L1Lat: 2, L2Lat: 6, L3Lat: 30,
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := New(tinyConfig(1))
+	r := h.Access(0, 0x1000, false)
+	if r.Level != LvlMem {
+		t.Fatalf("cold access level = %v, want MEM", r.Level)
+	}
+	r = h.Access(0, 0x1000, false)
+	if r.Level != LvlL1 || r.Lat != 2 {
+		t.Fatalf("second access = %+v, want L1 hit", r)
+	}
+	// Another word in the same line also hits.
+	r = h.Access(0, 0x1000+32, false)
+	if r.Level != LvlL1 {
+		t.Fatalf("same-line access = %v, want L1", r.Level)
+	}
+}
+
+func TestL1EvictionFallsBackToL2(t *testing.T) {
+	h := New(tinyConfig(1))
+	// L1: 4 sets × 2 ways. Fill 3 lines mapping to set 0 (stride 4*64).
+	stride := uint64(4 * 64)
+	for i := uint64(0); i < 3; i++ {
+		h.Access(0, 0x10000+i*stride, false)
+	}
+	// First line evicted from L1 but still in L2.
+	r := h.Access(0, 0x10000, false)
+	if r.Level != LvlL2 {
+		t.Fatalf("level = %v, want L2", r.Level)
+	}
+}
+
+func TestInclusionBackInvalidation(t *testing.T) {
+	cfg := tinyConfig(1)
+	h := New(cfg)
+	// Occupy one L3 set (4 ways) plus one more line in the same set,
+	// forcing an L3 eviction; the victim must leave L1/L2 too.
+	stride := uint64(16 * 64) // L3 has 16 sets
+	addrs := make([]uint64, 5)
+	for i := range addrs {
+		addrs[i] = 0x40000 + uint64(i)*stride
+		h.Access(0, addrs[i], false)
+	}
+	// addrs[0] was LRU in L3 and must be gone everywhere.
+	if lvl := h.Probe(0, addrs[0]); lvl != LvlNone {
+		t.Fatalf("evicted line still at %v", lvl)
+	}
+	if h.Access(0, addrs[0], false).Level != LvlMem {
+		t.Fatal("re-access of back-invalidated line should go to DRAM")
+	}
+}
+
+func TestCoherenceInvalidationOnWrite(t *testing.T) {
+	h := New(tinyConfig(2))
+	h.Access(0, 0x2000, false)
+	h.Access(1, 0x2000, false) // both cores share the line
+	if h.Probe(1, 0x2000) != LvlL1 {
+		t.Fatal("core1 should have the line")
+	}
+	h.Access(0, 0x2000, true) // core0 writes -> invalidate core1
+	if lvl := h.Probe(1, 0x2000); lvl == LvlL1 || lvl == LvlL2 {
+		t.Fatalf("core1 copy should be invalidated, still at %v", lvl)
+	}
+	if h.Stats.Invalidations == 0 {
+		t.Error("invalidations not counted")
+	}
+	// Core1 re-reads: must find it in L3 (or DRAM), not private.
+	r := h.Access(1, 0x2000, false)
+	if r.Level != LvlL3 {
+		t.Fatalf("core1 re-read level = %v, want L3", r.Level)
+	}
+}
+
+func TestWriteThenRemoteReadDowngrades(t *testing.T) {
+	h := New(tinyConfig(2))
+	h.Access(0, 0x3000, true) // core0 holds M
+	r := h.Access(1, 0x3000, false)
+	if r.Level != LvlL3 {
+		t.Fatalf("remote read level = %v, want L3", r.Level)
+	}
+	if h.Stats.Writebacks == 0 {
+		t.Error("downgrading an M line should count a writeback")
+	}
+	// Now both can read from their L1s.
+	if h.Access(0, 0x3000, false).Level != LvlL1 {
+		t.Error("core0 should still hit L1 after downgrade")
+	}
+}
+
+func TestPrefetchFillAndUsefulness(t *testing.T) {
+	h := New(tinyConfig(1))
+	h.FillPrefetch(0, 0x5000, LvlMem)
+	if h.Stats.PrefetchFills != 1 {
+		t.Fatal("prefetch fill not counted")
+	}
+	r := h.Access(0, 0x5000, false)
+	if r.Level != LvlL1 {
+		t.Fatalf("demand after prefetch level = %v, want L1", r.Level)
+	}
+	if r.PrefetchHit != LvlL1 {
+		t.Fatalf("PrefetchHit = %v, want L1", r.PrefetchHit)
+	}
+	if h.Stats.PrefetchL1Hits != 1 {
+		t.Error("L1 prefetch hit not counted")
+	}
+	// Second demand to the same line is a plain hit, not a prefetch hit.
+	r = h.Access(0, 0x5000, false)
+	if r.PrefetchHit != LvlNone {
+		t.Error("prefetch hit double-counted")
+	}
+}
+
+func TestPrefetchEvictedBeforeUse(t *testing.T) {
+	cfg := tinyConfig(1)
+	h := New(cfg)
+	stride := uint64(16 * 64)
+	h.FillPrefetch(0, 0x50000, LvlMem)
+	// Push it out of L3 with demand traffic to the same set.
+	for i := uint64(1); i <= 4; i++ {
+		h.Access(0, 0x50000+i*stride, false)
+	}
+	if h.Stats.PrefetchEvicted != 1 {
+		t.Fatalf("PrefetchEvicted = %d, want 1", h.Stats.PrefetchEvicted)
+	}
+}
+
+func TestPrefetchHitAtL2AfterL1Eviction(t *testing.T) {
+	h := New(tinyConfig(1))
+	h.FillPrefetch(0, 0x60000, LvlMem)
+	// Evict from L1 set (2 ways) with demand lines in the same L1 set but
+	// different L2/L3 sets.
+	l1stride := uint64(4 * 64)
+	h.Access(0, 0x60000+l1stride, false)
+	h.Access(0, 0x60000+2*l1stride, false)
+	r := h.Access(0, 0x60000, false)
+	if r.Level != LvlL2 {
+		t.Fatalf("level = %v, want L2", r.Level)
+	}
+	if r.PrefetchHit != LvlL2 {
+		t.Fatalf("PrefetchHit = %v, want L2", r.PrefetchHit)
+	}
+}
+
+func TestProbeDoesNotMutate(t *testing.T) {
+	h := New(tinyConfig(1))
+	if h.Probe(0, 0x7000) != LvlNone {
+		t.Fatal("empty probe should be none")
+	}
+	before := h.Stats
+	h.Probe(0, 0x7000)
+	if h.Stats != before {
+		t.Error("probe changed stats")
+	}
+	if h.Access(0, 0x7000, false).Level != LvlMem {
+		t.Error("probe must not install lines")
+	}
+}
+
+func TestOnL3EvictCallback(t *testing.T) {
+	h := New(tinyConfig(1))
+	var evicted []uint64
+	h.OnL3Evict = func(la uint64) { evicted = append(evicted, la) }
+	stride := uint64(16 * 64)
+	for i := uint64(0); i <= 4; i++ {
+		h.Access(0, 0x80000+i*stride, false)
+	}
+	if len(evicted) != 1 || evicted[0] != h.LineAddr(0x80000) {
+		t.Fatalf("evictions = %v", evicted)
+	}
+}
+
+func TestScaledDefaultShape(t *testing.T) {
+	cfg := ScaledDefault(8)
+	h := New(cfg)
+	if h.cfg.L3Size != 128<<10 {
+		t.Fatal("unexpected L3 size")
+	}
+	// Must be able to access without panicking across cores.
+	for c := 0; c < 8; c++ {
+		h.Access(c, uint64(c)*4096, false)
+	}
+}
+
+// Property: after any access sequence, every L1-resident line is also
+// L2-resident (L1 ⊆ L2) and every private line is L3-resident (inclusion).
+func TestQuickInclusion(t *testing.T) {
+	f := func(ops []uint16) bool {
+		h := New(tinyConfig(2))
+		var touched []uint64
+		for i, op := range ops {
+			addr := uint64(op%256) * 64
+			core := i % 2
+			h.Access(core, addr, op%7 == 0)
+			touched = append(touched, addr)
+		}
+		for _, addr := range touched {
+			la := h.LineAddr(addr)
+			for c := 0; c < 2; c++ {
+				inL1 := h.l1[c].lookup(la) >= 0
+				inL2 := h.l2[c].lookup(la) >= 0
+				inL3 := h.l3.lookup(la) >= 0
+				if inL1 && !inL2 {
+					return false
+				}
+				if (inL1 || inL2) && !inL3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: at most one core holds a line in M state at any time.
+func TestQuickSingleWriter(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const cores = 3
+		h := New(tinyConfig(cores))
+		for i, op := range ops {
+			addr := uint64(op%64) * 64
+			h.Access(i%cores, addr, op%3 == 0)
+			la := h.LineAddr(addr)
+			writers := 0
+			for c := 0; c < cores; c++ {
+				if w := h.l1[c].lookup(la); w >= 0 && h.l1[c].way(la, w).state == stModified {
+					writers++
+				}
+			}
+			if writers > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lvl, want := range map[Level]string{LvlNone: "none", LvlL1: "L1", LvlL2: "L2", LvlL3: "L3", LvlMem: "MEM"} {
+		if lvl.String() != want {
+			t.Errorf("%d.String() = %q, want %q", lvl, lvl.String(), want)
+		}
+	}
+}

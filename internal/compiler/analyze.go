@@ -1,0 +1,253 @@
+package compiler
+
+import (
+	"fmt"
+
+	"prodigy/internal/dig"
+)
+
+// Registration is one emitted API call — the compiler's code generation
+// output (the calls inserted into the binary in Fig. 7c).
+type Registration struct {
+	// Kind is "registerNode", "registerTravEdge", or "registerTrigEdge".
+	Kind string
+	// Node fields (registerNode).
+	Name     string
+	Base     uint64
+	NumElems uint64
+	ElemSize int
+	NodeID   int
+	// Edge fields (registerTravEdge / registerTrigEdge): base addresses,
+	// exactly what the runtime's node-table scan resolves.
+	SrcAddr, DstAddr uint64
+	EdgeType         dig.EdgeType
+}
+
+func (r Registration) String() string {
+	switch r.Kind {
+	case "registerNode":
+		return fmt.Sprintf("registerNode(%q, %#x, %d, %d, %d)", r.Name, r.Base, r.NumElems, r.ElemSize, r.NodeID)
+	case "registerTravEdge":
+		return fmt.Sprintf("registerTravEdge(%#x, %#x, %s)", r.SrcAddr, r.DstAddr, r.EdgeType)
+	case "registerTrigEdge":
+		return fmt.Sprintf("registerTrigEdge(%#x, %s)", r.SrcAddr, r.EdgeType)
+	}
+	return "?"
+}
+
+// Analyze runs the four Fig. 8 passes over a kernel and returns the
+// registration calls the instrumented binary would execute.
+func Analyze(f *Func) []Registration {
+	var regs []Registration
+	regs = append(regs, identifyNodes(f)...)
+	edges := append(singleValued(f), ranged(f)...)
+	edges = dedupEdges(edges)
+	regs = append(regs, edges...)
+	regs = append(regs, pickTriggers(f, edges)...)
+	regs = append(regs, streamTriggers(f, edges)...)
+	return regs
+}
+
+// GenerateDIG runs Analyze and replays the registrations through the
+// runtime library (dig.Builder) to produce the DIG the hardware would be
+// programmed with.
+func GenerateDIG(f *Func) (*dig.DIG, error) {
+	b := dig.NewBuilder()
+	for _, r := range Analyze(f) {
+		switch r.Kind {
+		case "registerNode":
+			b.RegisterNode(r.Name, r.Base, r.NumElems, r.ElemSize, r.NodeID)
+		case "registerTravEdge":
+			b.RegisterTravEdge(r.SrcAddr, r.DstAddr, r.EdgeType)
+		case "registerTrigEdge":
+			b.RegisterTrigEdge(r.SrcAddr, dig.TriggerConfig{})
+		}
+	}
+	return b.Build()
+}
+
+// identifyNodes is Fig. 8(a): every allocation becomes a registerNode
+// call.
+func identifyNodes(f *Func) []Registration {
+	var out []Registration
+	walk(f.Body, func(s Stmt) {
+		if a, ok := s.(*Alloc); ok {
+			out = append(out, Registration{
+				Kind: "registerNode", Name: a.Name, Base: a.Base,
+				NumElems: a.NumElems, ElemSize: a.ElemSize, NodeID: a.NodeID,
+			})
+		}
+	})
+	return out
+}
+
+// singleValued is Fig. 8(b): find loads whose address index is itself the
+// result of a load from another array — b[a[i]].
+func singleValued(f *Func) []Registration {
+	var out []Registration
+	emit := func(srcArr, dstArr *Var) {
+		sa, da := allocOf(srcArr), allocOf(dstArr)
+		if sa == nil || da == nil || sa == da {
+			return
+		}
+		out = append(out, Registration{
+			Kind: "registerTravEdge", SrcAddr: sa.Base, DstAddr: da.Base,
+			EdgeType: dig.SingleValued,
+		})
+	}
+	walk(f.Body, func(s Stmt) {
+		switch st := s.(type) {
+		case *Load:
+			if src := loadOf(st.Idx.Var); src != nil {
+				emit(src.Arr, st.Arr)
+			}
+		case *Store:
+			// Scatter through a loaded index (a[b[i]] = v) is the same
+			// indirection read the other way; IS's key counting uses it.
+			if src := loadOf(st.Idx.Var); src != nil {
+				emit(src.Arr, st.Arr)
+			}
+		}
+	})
+	return out
+}
+
+// ranged is Fig. 8(c): find loops whose bounds are a[i] and a[i+1] loads
+// from the same array, and emit an edge to every array the loop variable
+// indexes.
+func ranged(f *Func) []Registration {
+	var out []Registration
+	walk(f.Body, func(s Stmt) {
+		l, ok := s.(*Loop)
+		if !ok || l.Lower == nil || l.Upper == nil {
+			return
+		}
+		// areUsedInBoundsCheck: same base pointer, indices i and i+1.
+		if l.Lower.Arr != l.Upper.Arr {
+			return
+		}
+		if l.Lower.Idx.Var != l.Upper.Idx.Var || l.Upper.Idx.Off != l.Lower.Idx.Off+1 {
+			return
+		}
+		srcAlloc := allocOf(l.Lower.Arr)
+		if srcAlloc == nil {
+			return
+		}
+		// Every load/store in the body indexed by the loop variable
+		// streams through the bounded range.
+		walk(l.Body, func(bs Stmt) {
+			var arr *Var
+			var idx Expr
+			switch b := bs.(type) {
+			case *Load:
+				arr, idx = b.Arr, b.Idx
+			case *Store:
+				arr, idx = b.Arr, b.Idx
+			default:
+				return
+			}
+			if idx.Var != l.Var || idx.Off != 0 {
+				return
+			}
+			dstAlloc := allocOf(arr)
+			if dstAlloc == nil || dstAlloc == srcAlloc {
+				return
+			}
+			out = append(out, Registration{
+				Kind: "registerTravEdge", SrcAddr: srcAlloc.Base,
+				DstAddr: dstAlloc.Base, EdgeType: dig.Ranged,
+			})
+		})
+	})
+	return out
+}
+
+// pickTriggers implements the final stage of Section III-B2: a node with
+// outgoing traversal edges but no incoming edge gets a trigger self-edge.
+func pickTriggers(f *Func, edges []Registration) []Registration {
+	hasOut := map[uint64]bool{}
+	hasIn := map[uint64]bool{}
+	for _, e := range edges {
+		hasOut[e.SrcAddr] = true
+		hasIn[e.DstAddr] = true
+	}
+	var out []Registration
+	// Preserve allocation order for determinism.
+	walk(f.Body, func(s Stmt) {
+		a, ok := s.(*Alloc)
+		if !ok {
+			return
+		}
+		if hasOut[a.Base] && !hasIn[a.Base] {
+			out = append(out, Registration{
+				Kind: "registerTrigEdge", SrcAddr: a.Base, EdgeType: dig.Trigger,
+			})
+		}
+	})
+	return out
+}
+
+// streamTriggers extends trigger selection to sequentially-streamed
+// arrays: an array loaded directly through a loop induction variable, with
+// no traversal edges touching it, is walked linearly by the core — a
+// trigger self-edge turns the prefetcher into its stream prefetcher, which
+// is what lets coverage reach "all the key data structures" (Fig. 13)
+// even for the streaming phases of pr or cg.
+func streamTriggers(f *Func, edges []Registration) []Registration {
+	touched := map[uint64]bool{}
+	for _, e := range edges {
+		touched[e.SrcAddr] = true
+		touched[e.DstAddr] = true
+	}
+	// Collect loop variables, then arrays loaded at Idx = loopVar+0.
+	loopVars := map[*Var]bool{}
+	walk(f.Body, func(s Stmt) {
+		if l, ok := s.(*Loop); ok {
+			loopVars[l.Var] = true
+		}
+	})
+	streamed := map[uint64]bool{}
+	walk(f.Body, func(s Stmt) {
+		ld, ok := s.(*Load)
+		if !ok {
+			return
+		}
+		if !loopVars[ld.Idx.Var] || ld.Idx.Off != 0 {
+			return
+		}
+		if a := allocOf(ld.Arr); a != nil {
+			streamed[a.Base] = true
+		}
+	})
+	var out []Registration
+	walk(f.Body, func(s Stmt) {
+		a, ok := s.(*Alloc)
+		if !ok {
+			return
+		}
+		if streamed[a.Base] && !touched[a.Base] {
+			out = append(out, Registration{
+				Kind: "registerTrigEdge", SrcAddr: a.Base, EdgeType: dig.Trigger,
+			})
+		}
+	})
+	return out
+}
+
+func dedupEdges(edges []Registration) []Registration {
+	type key struct {
+		s, d uint64
+		t    dig.EdgeType
+	}
+	seen := map[key]bool{}
+	var out []Registration
+	for _, e := range edges {
+		k := key{e.SrcAddr, e.DstAddr, e.EdgeType}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	return out
+}

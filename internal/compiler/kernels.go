@@ -1,0 +1,232 @@
+package compiler
+
+import (
+	"fmt"
+
+	"prodigy/internal/memspace"
+)
+
+// ArrayInfo describes one allocated array the kernel IR references.
+type ArrayInfo struct {
+	Base     uint64
+	NumElems uint64
+	ElemSize int
+}
+
+// ArraysFromSpace extracts ArrayInfo for every region of a workload's
+// address space, keyed by region name — the compiler's view of the
+// program's allocation sites.
+func ArraysFromSpace(sp *memspace.Space) map[string]ArrayInfo {
+	out := map[string]ArrayInfo{}
+	for _, r := range sp.Regions() {
+		out[r.Name] = ArrayInfo{Base: r.BaseAddr, NumElems: r.Len, ElemSize: int(r.ElemSize)}
+	}
+	return out
+}
+
+// KernelIR builds the loop-tree IR of one of the nine kernels over the
+// given arrays. The IR mirrors the memory-access structure of the
+// corresponding internal/workloads implementation (the "unmodified
+// application source" the paper's compiler pass analyzes); node IDs follow
+// the same allocation order the annotated sources use.
+func KernelIR(algo string, arrays map[string]ArrayInfo) (f *Func, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				f, err = nil, e
+				return
+			}
+			panic(r)
+		}
+	}()
+	must := func(name string, id int) *Alloc {
+		info, ok := arrays[name]
+		if !ok {
+			panic(fmt.Errorf("compiler: kernel %s: missing array %q", algo, name))
+		}
+		return NewAlloc(name, info.Base, info.NumElems, info.ElemSize, id)
+	}
+
+	switch algo {
+	case "bfs":
+		workQ, offsets, edges, visited := must("workQueue", 0), must("offsetList", 1), must("edgeList", 2), must("visited", 3)
+		i := NewVar("i")
+		u := NewLoad(workQ.Arr, V(i), "u")
+		lo := NewLoad(offsets.Arr, V(u.Dst), "lo")
+		hi := NewLoad(offsets.Arr, VPlus(u.Dst, 1), "hi")
+		w := NewVar("w")
+		v := NewLoad(edges.Arr, V(w), "v")
+		vis := NewLoad(visited.Arr, V(v.Dst), "vis")
+		return &Func{Name: "bfs", Body: []Stmt{
+			workQ, offsets, edges, visited,
+			&Loop{Var: i, Body: []Stmt{
+				u, lo, hi,
+				&Loop{Var: w, Lower: lo, Upper: hi, Body: []Stmt{
+					v, vis,
+					&Store{Arr: visited.Arr, Idx: V(v.Dst)},
+					&Store{Arr: workQ.Arr, Idx: V(NewVar("qEnd"))},
+				}},
+			}},
+		}}, nil
+
+	case "pr":
+		inOff, inEdges, contrib := must("inOffsetList", 0), must("inEdgeList", 1), must("contrib", 2)
+		scores, outDeg := must("scores", 3), must("outDeg", 4)
+		v := NewVar("v")
+		// Phase 1: contrib[v] = scores[v] / outDeg[v].
+		s1 := NewLoad(scores.Arr, V(v), "s")
+		d1 := NewLoad(outDeg.Arr, V(v), "d")
+		lo := NewLoad(inOff.Arr, V(v), "lo")
+		hi := NewLoad(inOff.Arr, VPlus(v, 1), "hi")
+		w := NewVar("w")
+		u := NewLoad(inEdges.Arr, V(w), "u")
+		c := NewLoad(contrib.Arr, V(u.Dst), "c")
+		return &Func{Name: "pr", Body: []Stmt{
+			inOff, inEdges, contrib, scores, outDeg,
+			&Loop{Var: v, Body: []Stmt{s1, d1, &Store{Arr: contrib.Arr, Idx: V(v)}}},
+			&Loop{Var: v, Body: []Stmt{
+				lo, hi,
+				&Loop{Var: w, Lower: lo, Upper: hi, Body: []Stmt{u, c}},
+				&Store{Arr: scores.Arr, Idx: V(v)},
+			}},
+		}}, nil
+
+	case "cc":
+		offsets, edges, comp := must("offsetList", 0), must("edgeList", 1), must("comp", 2)
+		v := NewVar("v")
+		lo := NewLoad(offsets.Arr, V(v), "lo")
+		hi := NewLoad(offsets.Arr, VPlus(v, 1), "hi")
+		cv := NewLoad(comp.Arr, V(v), "cv")
+		w := NewVar("w")
+		u := NewLoad(edges.Arr, V(w), "u")
+		cu := NewLoad(comp.Arr, V(u.Dst), "cu")
+		return &Func{Name: "cc", Body: []Stmt{
+			offsets, edges, comp,
+			&Loop{Var: v, Body: []Stmt{
+				lo, hi, cv,
+				&Loop{Var: w, Lower: lo, Upper: hi, Body: []Stmt{u, cu}},
+				&Store{Arr: comp.Arr, Idx: V(v)},
+			}},
+		}}, nil
+
+	case "sssp":
+		workQ, offsets, edges := must("workQueue", 0), must("offsetList", 1), must("edgeList", 2)
+		weights, dist, inNext := must("weights", 3), must("dist", 4), must("inNext", 5)
+		i := NewVar("i")
+		u := NewLoad(workQ.Arr, V(i), "u")
+		du := NewLoad(dist.Arr, V(u.Dst), "du")
+		lo := NewLoad(offsets.Arr, V(u.Dst), "lo")
+		hi := NewLoad(offsets.Arr, VPlus(u.Dst, 1), "hi")
+		w := NewVar("w")
+		v := NewLoad(edges.Arr, V(w), "v")
+		wt := NewLoad(weights.Arr, V(w), "wt")
+		dv := NewLoad(dist.Arr, V(v.Dst), "dv")
+		return &Func{Name: "sssp", Body: []Stmt{
+			workQ, offsets, edges, weights, dist, inNext,
+			&Loop{Var: i, Body: []Stmt{
+				u, du, lo, hi,
+				&Loop{Var: w, Lower: lo, Upper: hi, Body: []Stmt{
+					v, wt, dv,
+					&Store{Arr: dist.Arr, Idx: V(v.Dst)},
+					&Store{Arr: workQ.Arr, Idx: V(NewVar("qEnd"))},
+				}},
+			}},
+		}}, nil
+
+	case "bc":
+		workQ, offsets, edges := must("workQueue", 0), must("offsetList", 1), must("edgeList", 2)
+		depth, sigma, delta, scores := must("depth", 3), must("sigma", 4), must("delta", 5), must("scores", 6)
+		i := NewVar("i")
+		u := NewLoad(workQ.Arr, V(i), "u")
+		lo := NewLoad(offsets.Arr, V(u.Dst), "lo")
+		hi := NewLoad(offsets.Arr, VPlus(u.Dst, 1), "hi")
+		su := NewLoad(sigma.Arr, V(u.Dst), "su")
+		w := NewVar("w")
+		v := NewLoad(edges.Arr, V(w), "v")
+		dv := NewLoad(depth.Arr, V(v.Dst), "dv")
+		sv := NewLoad(sigma.Arr, V(v.Dst), "sv")
+		delv := NewLoad(delta.Arr, V(v.Dst), "delv")
+		return &Func{Name: "bc", Body: []Stmt{
+			workQ, offsets, edges, depth, sigma, delta, scores,
+			&Loop{Var: i, Body: []Stmt{
+				u, lo, hi, su,
+				&Loop{Var: w, Lower: lo, Upper: hi, Body: []Stmt{
+					v, dv, sv, delv,
+					&Store{Arr: depth.Arr, Idx: V(v.Dst)},
+					&Store{Arr: workQ.Arr, Idx: V(NewVar("qEnd"))},
+				}},
+				&Store{Arr: delta.Arr, Idx: V(u.Dst)},
+				&Store{Arr: scores.Arr, Idx: V(u.Dst)},
+			}},
+		}}, nil
+
+	case "spmv", "symgs", "cg":
+		// The three share the CSR gather shape; symgs adds the streamed
+		// right-hand side, cg adds the streamed vector phases.
+		var xName string
+		var extras []string
+		switch algo {
+		case "spmv":
+			xName, extras = "x", []string{"y"}
+		case "symgs":
+			xName, extras = "x", []string{"b"}
+		case "cg":
+			xName, extras = "p", []string{"q", "r", "x"}
+		}
+		rowOff, cols, vals := must("rowOffsets", 0), must("cols", 1), must("vals", 2)
+		x := must(xName, 3)
+		extraAllocs := map[string]*Alloc{}
+		var extraStmts []Stmt
+		for k, name := range extras {
+			a := must(name, 4+k)
+			extraAllocs[name] = a
+			extraStmts = append(extraStmts, a)
+		}
+		row := NewVar("row")
+		lo := NewLoad(rowOff.Arr, V(row), "lo")
+		hi := NewLoad(rowOff.Arr, VPlus(row, 1), "hi")
+		k := NewVar("k")
+		col := NewLoad(cols.Arr, V(k), "col")
+		val := NewLoad(vals.Arr, V(k), "val")
+		xx := NewLoad(x.Arr, V(col.Dst), "xx")
+		gather := []Stmt{
+			lo, hi,
+			&Loop{Var: k, Lower: lo, Upper: hi, Body: []Stmt{col, val, xx}},
+		}
+		if algo == "symgs" {
+			// x[row] = (b[row] - sum) / diag: the right-hand side streams.
+			gather = append([]Stmt{NewLoad(extraAllocs["b"].Arr, V(row), "rhs")}, gather...)
+			gather = append(gather, &Store{Arr: x.Arr, Idx: V(row)})
+		}
+		body := []Stmt{rowOff, cols, vals, x}
+		body = append(body, extraStmts...)
+		body = append(body, &Loop{Var: row, Body: gather})
+		if algo == "cg" {
+			// Dot products and AXPYs stream p/q/r/x linearly.
+			i := NewVar("i")
+			body = append(body, &Loop{Var: i, Body: []Stmt{
+				NewLoad(x.Arr, V(i), "pi"), // p
+				NewLoad(extraAllocs["q"].Arr, V(i), "qi"),
+				NewLoad(extraAllocs["r"].Arr, V(i), "ri"),
+				NewLoad(extraAllocs["x"].Arr, V(i), "xi"),
+				&Store{Arr: extraAllocs["x"].Arr, Idx: V(i)},
+			}})
+		}
+		return &Func{Name: algo, Body: body}, nil
+
+	case "is":
+		keys, keyDen, rank := must("keys", 0), must("keyDen", 1), must("rank", 2)
+		i := NewVar("i")
+		k := NewLoad(keys.Arr, V(i), "k")
+		den := NewLoad(keyDen.Arr, V(k.Dst), "den")
+		return &Func{Name: "is", Body: []Stmt{
+			keys, keyDen, rank,
+			&Loop{Var: i, Body: []Stmt{
+				k, den,
+				&Store{Arr: keyDen.Arr, Idx: V(k.Dst)},
+				&Store{Arr: rank.Arr, Idx: V(i)},
+			}},
+		}}, nil
+	}
+	return nil, fmt.Errorf("compiler: unknown kernel %q", algo)
+}

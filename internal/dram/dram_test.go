@@ -1,0 +1,107 @@
+package dram
+
+import "testing"
+
+func TestUnloadedLatency(t *testing.T) {
+	c := New(Default())
+	if got := c.Request(1000); got != 1000+120 {
+		t.Fatalf("unloaded completion = %d, want 1120", got)
+	}
+	if c.Stats.TotalQueueDelay != 0 {
+		t.Error("unloaded request should have no queue delay")
+	}
+}
+
+func TestQueuingUnderBursts(t *testing.T) {
+	c := New(Config{AccessLat: 100, ServiceInterval: 4})
+	// Three simultaneous requests: completions must be spaced by the
+	// service interval.
+	a := c.Request(0)
+	b := c.Request(0)
+	d := c.Request(0)
+	if a != 100 || b != 104 || d != 108 {
+		t.Fatalf("completions = %d %d %d, want 100 104 108", a, b, d)
+	}
+	if c.Stats.TotalQueueDelay != 0+4+8 {
+		t.Fatalf("queue delay = %d, want 12", c.Stats.TotalQueueDelay)
+	}
+	if got := c.AvgQueueDelay(); got != 4 {
+		t.Fatalf("avg queue delay = %v, want 4", got)
+	}
+}
+
+func TestPipeDrains(t *testing.T) {
+	c := New(Config{AccessLat: 100, ServiceInterval: 4})
+	c.Request(0)
+	// Much later, the pipe is free again.
+	if got := c.Request(1000); got != 1100 {
+		t.Fatalf("completion = %d, want 1100", got)
+	}
+}
+
+func TestWritesConsumeBandwidth(t *testing.T) {
+	c := New(Config{AccessLat: 100, ServiceInterval: 4})
+	c.Write(0)
+	// Writebacks are low-priority: demands overtake them...
+	if got := c.Request(0); got != 100 {
+		t.Fatalf("demand after write completes at %d, want 100 (priority)", got)
+	}
+	// ...but prefetches queue behind the write slot.
+	if got := c.RequestPrefetch(0); got != 104 {
+		t.Fatalf("prefetch after write completes at %d, want 104", got)
+	}
+	if c.Stats.Writes != 1 {
+		t.Error("write not counted")
+	}
+}
+
+func TestDemandPriorityOverPrefetch(t *testing.T) {
+	c := New(Config{AccessLat: 100, ServiceInterval: 4})
+	// A burst of queued prefetches must not delay a demand read.
+	for i := 0; i < 10; i++ {
+		c.RequestPrefetch(0)
+	}
+	if got := c.Request(0); got != 100 {
+		t.Fatalf("demand behind prefetch burst completes at %d, want 100", got)
+	}
+	// The next prefetch queues behind both the burst and the demand.
+	if got := c.RequestPrefetch(0); got != 100+4*10 {
+		t.Fatalf("prefetch completes at %d, want 140", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := New(Config{AccessLat: 100, ServiceInterval: 2})
+	for i := 0; i < 50; i++ {
+		c.Request(0)
+	}
+	if got := c.Utilization(200); got != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+	if got := c.Utilization(50); got != 1 {
+		t.Fatalf("utilization should clamp to 1, got %v", got)
+	}
+	if c.Utilization(0) != 0 {
+		t.Error("zero elapsed should be 0")
+	}
+}
+
+func TestPromoteDoesNotConsumeBandwidth(t *testing.T) {
+	c := New(Config{AccessLat: 100, ServiceInterval: 4})
+	before := c.Stats
+	if got := c.Promote(10); got != 110 {
+		t.Fatalf("promote completion = %d, want 110", got)
+	}
+	if c.Stats != before {
+		t.Fatal("promotion changed controller state")
+	}
+	// A demand queued first pushes the promotion estimate out.
+	c.Request(10)
+	if got := c.Promote(10); got != 114 {
+		t.Fatalf("promote behind demand = %d, want 114", got)
+	}
+	// But subsequent demands are unaffected by promotions.
+	if got := c.Request(10); got != 114 {
+		t.Fatalf("demand = %d, want 114", got)
+	}
+}

@@ -1,0 +1,74 @@
+// Package energy is the McPAT-style event-count energy model used by the
+// Fig. 19 experiment. Energy is dynamic-per-event plus static-per-cycle,
+// split into the paper's four categories (core, cache, DRAM, others).
+//
+// The constants are representative 22 nm-class values; Fig. 19's result —
+// prefetching saves energy roughly in proportion to runtime because
+// static energy dominates stalled cycles — depends on the static/dynamic
+// split, not on the absolute numbers.
+package energy
+
+// Config holds per-event and per-cycle energies in nanojoules.
+type Config struct {
+	// CoreDynPerInstr is dynamic core energy per retired instruction.
+	CoreDynPerInstr float64
+	// CoreStaticPerCoreCycle is leakage+clock per core per cycle.
+	CoreStaticPerCoreCycle float64
+
+	// Cache access energies by level, per access.
+	L1PerAccess, L2PerAccess, L3PerAccess float64
+	// CacheStaticPerCoreCycle covers all cache leakage, per core cycle.
+	CacheStaticPerCoreCycle float64
+
+	// DRAMPerAccess is per line transferred; DRAMStaticPerCycle is
+	// background/refresh power per (chip) cycle.
+	DRAMPerAccess       float64
+	DRAMStaticPerCycle  float64
+	OtherStaticPerCycle float64
+}
+
+// Default returns the model constants.
+func Default() Config {
+	return Config{
+		CoreDynPerInstr:         0.25,
+		CoreStaticPerCoreCycle:  0.45,
+		L1PerAccess:             0.03,
+		L2PerAccess:             0.09,
+		L3PerAccess:             0.6,
+		CacheStaticPerCoreCycle: 0.18,
+		DRAMPerAccess:           18,
+		DRAMStaticPerCycle:      0.5,
+		OtherStaticPerCycle:     0.25,
+	}
+}
+
+// Counts are the activity counters the model consumes (filled from a
+// sim.Result by the experiment harness).
+type Counts struct {
+	Cycles  int64
+	Cores   int
+	Retired int64
+	// L1Accesses should include demand accesses and prefetch fills; L2/L3
+	// are accesses that reached those levels.
+	L1Accesses, L2Accesses, L3Accesses uint64
+	DRAMAccesses                       uint64
+}
+
+// Breakdown is energy per category in nanojoules.
+type Breakdown struct {
+	Core, Cache, DRAM, Other float64
+}
+
+// Total sums the categories.
+func (b Breakdown) Total() float64 { return b.Core + b.Cache + b.DRAM + b.Other }
+
+// Compute evaluates the model.
+func Compute(cfg Config, c Counts) Breakdown {
+	coreCycles := float64(c.Cycles) * float64(c.Cores)
+	return Breakdown{
+		Core:  float64(c.Retired)*cfg.CoreDynPerInstr + coreCycles*cfg.CoreStaticPerCoreCycle,
+		Cache: float64(c.L1Accesses)*cfg.L1PerAccess + float64(c.L2Accesses)*cfg.L2PerAccess + float64(c.L3Accesses)*cfg.L3PerAccess + coreCycles*cfg.CacheStaticPerCoreCycle,
+		DRAM:  float64(c.DRAMAccesses)*cfg.DRAMPerAccess + float64(c.Cycles)*cfg.DRAMStaticPerCycle,
+		Other: float64(c.Cycles) * cfg.OtherStaticPerCycle,
+	}
+}

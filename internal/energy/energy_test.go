@@ -1,0 +1,50 @@
+package energy
+
+import "testing"
+
+func TestZeroCountsZeroEnergy(t *testing.T) {
+	b := Compute(Default(), Counts{})
+	if b.Total() != 0 {
+		t.Fatalf("zero activity energy = %v", b)
+	}
+}
+
+func TestStaticScalesWithCycles(t *testing.T) {
+	cfg := Default()
+	a := Compute(cfg, Counts{Cycles: 1000, Cores: 8})
+	b := Compute(cfg, Counts{Cycles: 2000, Cores: 8})
+	if b.Total() != 2*a.Total() {
+		t.Fatalf("static energy not linear in cycles: %v vs %v", a.Total(), b.Total())
+	}
+}
+
+func TestShorterRunSavesEnergyDespiteSameWork(t *testing.T) {
+	// The Fig. 19 mechanism: same instruction/DRAM counts, fewer cycles
+	// (prefetching), must give lower total energy.
+	cfg := Default()
+	work := Counts{Cores: 8, Retired: 1_000_000, L1Accesses: 400_000,
+		L2Accesses: 100_000, L3Accesses: 50_000, DRAMAccesses: 20_000}
+	slow, fast := work, work
+	slow.Cycles = 2_000_000
+	fast.Cycles = 800_000
+	es, ef := Compute(cfg, slow), Compute(cfg, fast)
+	if ef.Total() >= es.Total() {
+		t.Fatalf("faster run not cheaper: %v vs %v", ef.Total(), es.Total())
+	}
+	ratio := es.Total() / ef.Total()
+	if ratio < 1.2 || ratio > 2.5 {
+		t.Fatalf("2.5x speedup gives %vx energy saving; static share looks wrong", ratio)
+	}
+}
+
+func TestDRAMDynamicVisible(t *testing.T) {
+	cfg := Default()
+	a := Compute(cfg, Counts{Cycles: 1000, Cores: 1, DRAMAccesses: 0})
+	b := Compute(cfg, Counts{Cycles: 1000, Cores: 1, DRAMAccesses: 1000})
+	if b.DRAM <= a.DRAM {
+		t.Fatal("DRAM accesses free")
+	}
+	if b.Core != a.Core || b.Cache != a.Cache {
+		t.Fatal("DRAM accesses leaked into other categories")
+	}
+}

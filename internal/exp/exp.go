@@ -1,0 +1,323 @@
+// Package exp is the benchmark harness: one driver per table and figure
+// of the paper's evaluation (Section VI). Each driver runs the required
+// (workload × prefetcher) matrix on the simulator, reduces the results the
+// way the paper does, and renders a paper-style table.
+//
+// See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured values.
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"prodigy/internal/cache"
+	"prodigy/internal/core"
+	"prodigy/internal/cpu"
+	"prodigy/internal/dig"
+	"prodigy/internal/dram"
+	"prodigy/internal/energy"
+	"prodigy/internal/graph"
+	"prodigy/internal/prefetch"
+	"prodigy/internal/sim"
+	"prodigy/internal/tlb"
+	"prodigy/internal/trace"
+	"prodigy/internal/workloads"
+)
+
+// Scheme names a prefetching configuration.
+type Scheme string
+
+// The evaluated schemes (Section VI-C).
+const (
+	SchemeNone     Scheme = "none"
+	SchemeStride   Scheme = "stride"
+	SchemeGHB      Scheme = "ghb-gdc"
+	SchemeIMP      Scheme = "imp"
+	SchemeAJ       Scheme = "aj"
+	SchemeDroplet  Scheme = "droplet"
+	SchemeSoftware Scheme = "software-pf"
+	SchemeProdigy  Scheme = "prodigy"
+)
+
+// Config parameterizes a harness.
+type Config struct {
+	// Cores is the simulated core count (Table I: 8).
+	Cores int
+	// Scale selects dataset sizing.
+	Scale graph.Scale
+	// Datasets restricts the graph inputs (default: all five).
+	Datasets []string
+	// PFHREntries overrides Prodigy's PFHR file size (default 16).
+	PFHREntries int
+	// Verify re-checks workload outputs after every run (slower; on in
+	// tests).
+	Verify bool
+	// CacheOverride replaces the default scaled hierarchy (Quick shrinks
+	// the caches along with the tiny datasets so the working-set-to-LLC
+	// ratio of DESIGN.md §2 is preserved at test scale).
+	CacheOverride *cache.Config
+	// MaxBuffered bounds generator look-ahead in instructions.
+	MaxBuffered int
+}
+
+// Default returns the paper configuration at benchmark scale.
+func Default() Config {
+	return Config{Cores: 8, Scale: graph.ScaleSmall, Datasets: graph.DatasetNames()}
+}
+
+// Quick returns a reduced configuration for unit tests: tiny datasets,
+// fewer cores, verification on, and caches shrunk 8x further so tiny
+// working sets still exceed the LLC.
+func Quick() Config {
+	c := cache.Config{
+		LineSize: 64,
+		L1Size:   1 << 10, L1Assoc: 4,
+		L2Size: 4 << 10, L2Assoc: 8,
+		L3Size: 16 << 10, L3Assoc: 16,
+		L1Lat: 2, L2Lat: 6, L3Lat: 30,
+	}
+	return Config{
+		Cores: 2, Scale: graph.ScaleTiny,
+		Datasets:      []string{"po", "lj"},
+		Verify:        true,
+		CacheOverride: &c,
+	}
+}
+
+// Run is one simulation outcome plus its workload context.
+type Run struct {
+	Label  string
+	Scheme Scheme
+	Res    sim.Result
+	W      *workloads.Workload
+	// MissesInDIG / MissesTotal classify LLC misses against the DIG
+	// ranges (Fig. 13/16).
+	MissesInDIG, MissesTotal uint64
+}
+
+// Speedup of other relative to this run (this run as baseline).
+func (r *Run) Speedup(other *Run) float64 {
+	if other.Res.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Res.Cycles) / float64(other.Res.Cycles)
+}
+
+// DRAMStallFrac returns the DRAM-stall share of aggregate cycles.
+func (r *Run) DRAMStallFrac() float64 {
+	total := r.Res.Agg.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Res.Agg.Cycles[cpu.DRAMStall]) / float64(total)
+}
+
+// Harness runs and memoizes (workload, scheme) simulations.
+type Harness struct {
+	Cfg   Config
+	mu    sync.Mutex
+	cache map[string]*Run
+	// mshrOverride adjusts the per-core prefetch MSHR cap (tests).
+	mshrOverride int
+}
+
+// New builds a harness.
+func New(cfg Config) *Harness {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 8
+	}
+	if len(cfg.Datasets) == 0 {
+		cfg.Datasets = graph.DatasetNames()
+	}
+	if cfg.MaxBuffered == 0 {
+		cfg.MaxBuffered = 1 << 21
+	}
+	return &Harness{Cfg: cfg, cache: map[string]*Run{}}
+}
+
+// runVariant captures non-default machine knobs for ablations.
+type runVariant struct {
+	pfhr      int
+	hubSorted bool
+	lookahead int
+	numSeqs   int
+	noRanged  bool
+	singleSeq bool
+	fillL2    bool
+	cores     int
+}
+
+// RunOne simulates one (algo, dataset, scheme) cell with default knobs.
+func (h *Harness) RunOne(algo, dataset string, scheme Scheme) (*Run, error) {
+	return h.run(algo, dataset, scheme, runVariant{})
+}
+
+func (h *Harness) key(algo, dataset string, scheme Scheme, v runVariant) string {
+	return fmt.Sprintf("%s|%s|%s|%+v", algo, dataset, scheme, v)
+}
+
+func (h *Harness) run(algo, dataset string, scheme Scheme, v runVariant) (*Run, error) {
+	key := h.key(algo, dataset, scheme, v)
+	h.mu.Lock()
+	if r, ok := h.cache[key]; ok {
+		h.mu.Unlock()
+		return r, nil
+	}
+	h.mu.Unlock()
+
+	cores := h.Cfg.Cores
+	if v.cores > 0 {
+		cores = v.cores
+	}
+	opts := workloads.Options{
+		Scale:            h.Cfg.Scale,
+		HubSorted:        v.hubSorted,
+		SoftwarePrefetch: scheme == SchemeSoftware,
+	}
+	w, err := workloads.Build(algo, dataset, cores, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	pfhr := h.Cfg.PFHREntries
+	if v.pfhr > 0 {
+		pfhr = v.pfhr
+	}
+	proCfg := core.Config{
+		PFHREntries:    pfhr,
+		DisableRanged:  v.noRanged,
+		SingleSequence: v.singleSeq,
+	}
+	d := w.DIG
+	if v.lookahead > 0 || v.numSeqs > 0 {
+		d = overrideTrigger(d, v.lookahead, v.numSeqs)
+	}
+
+	var fac prefetch.Factory
+	switch scheme {
+	case SchemeNone, SchemeSoftware:
+		fac = nil
+	case SchemeStride:
+		fac = prefetch.Stride(prefetch.DefaultStrideConfig())
+	case SchemeGHB:
+		fac = prefetch.GHB(prefetch.DefaultGHBConfig())
+	case SchemeIMP:
+		fac = prefetch.IMP(prefetch.DefaultIMPConfig())
+	case SchemeAJ:
+		// A&J reuses the DIG-walking machinery restricted to its design
+		// point: BFS-shaped chain, one sequence, no dropping.
+		fac = prefetch.AJ(d, func(chain *dig.DIG) prefetch.Factory {
+			return core.New(chain, core.Config{PFHREntries: pfhr, SingleSequence: true})
+		})
+	case SchemeDroplet:
+		fac = prefetch.Droplet(d, prefetch.DefaultDropletConfig())
+	case SchemeProdigy:
+		fac = core.New(d, proCfg)
+	default:
+		return nil, fmt.Errorf("exp: unknown scheme %q", scheme)
+	}
+
+	ccfg := cache.ScaledDefault(cores)
+	if h.Cfg.CacheOverride != nil {
+		ccfg = *h.Cfg.CacheOverride
+		ccfg.Cores = cores
+	}
+	scfg := sim.Config{
+		Cores:          cores,
+		CPU:            cpu.DefaultConfig(),
+		Cache:          ccfg,
+		DRAM:           dram.Default(),
+		TLB:            tlb.Default(),
+		Prefetcher:     fac,
+		PrefetchFillL2: v.fillL2,
+		PrefetchMSHRs:  h.mshrOverride,
+	}
+	run := &Run{Label: w.Label(), Scheme: scheme, W: w}
+	scfg.MissHook = func(addr uint64) {
+		run.MissesTotal++
+		if w.DIG.Covers(addr) {
+			run.MissesInDIG++
+		}
+	}
+
+	res, err := sim.Run(scfg, w.Space, trace.NewGen(cores, h.Cfg.MaxBuffered), w.Run)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s/%s: %w", w.Label(), scheme, err)
+	}
+	if h.Cfg.Verify {
+		if err := w.Verify(); err != nil {
+			return nil, fmt.Errorf("exp: %s/%s: %w", w.Label(), scheme, err)
+		}
+	}
+	run.Res = res
+
+	h.mu.Lock()
+	h.cache[key] = run
+	h.mu.Unlock()
+	return run, nil
+}
+
+// overrideTrigger clones a DIG with pinned look-ahead / sequence-count
+// trigger parameters (the look-ahead ablation).
+func overrideTrigger(d *dig.DIG, lookahead, numSeqs int) *dig.DIG {
+	out := *d
+	out.TriggerCfg = map[dig.NodeID]dig.TriggerConfig{}
+	for id := range d.TriggerCfg {
+		cfg := d.TriggerCfg[id]
+		if lookahead > 0 {
+			cfg.Lookahead = lookahead
+		}
+		if numSeqs > 0 {
+			cfg.NumSeqs = numSeqs
+		}
+		out.TriggerCfg[id] = cfg
+	}
+	for _, id := range d.TriggerNodes() {
+		if _, ok := out.TriggerCfg[id]; !ok {
+			out.TriggerCfg[id] = dig.TriggerConfig{Lookahead: lookahead, NumSeqs: numSeqs}
+		}
+	}
+	return &out
+}
+
+// EnergyOf evaluates the Fig. 19 model on a run.
+func EnergyOf(r *Run, cores int) energy.Breakdown {
+	c := energy.Counts{
+		Cycles:       r.Res.Cycles,
+		Cores:        cores,
+		Retired:      r.Res.Agg.Retired,
+		L1Accesses:   r.Res.Cache.DemandAccesses + r.Res.Cache.PrefetchFills,
+		L2Accesses:   r.Res.Cache.DemandL2Hits + r.Res.Cache.DemandL3Hits + r.Res.Cache.DemandMem,
+		L3Accesses:   r.Res.Cache.DemandL3Hits + r.Res.Cache.DemandMem + r.Res.Sim.PrefetchIssued,
+		DRAMAccesses: r.Res.DRAM.Requests + r.Res.DRAM.Writes,
+	}
+	return energy.Compute(energy.Default(), c)
+}
+
+// GraphCells enumerates the (algo, dataset) cells for the configured
+// datasets: graph algorithms cross datasets, non-graph algorithms appear
+// once.
+func (h *Harness) GraphCells(includeOthers bool) []struct{ Algo, Dataset string } {
+	var out []struct{ Algo, Dataset string }
+	for _, a := range workloads.GraphAlgos {
+		for _, d := range h.Cfg.Datasets {
+			out = append(out, struct{ Algo, Dataset string }{a, d})
+		}
+	}
+	if includeOthers {
+		for _, a := range workloads.OtherAlgos {
+			out = append(out, struct{ Algo, Dataset string }{a, ""})
+		}
+	}
+	return out
+}
+
+// datasetsFor returns the datasets to use for an algorithm (one empty
+// entry for non-graph kernels).
+func (h *Harness) datasetsFor(algo string) []string {
+	if workloads.IsGraphAlgo(algo) {
+		return h.Cfg.Datasets
+	}
+	return []string{""}
+}

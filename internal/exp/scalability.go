@@ -1,0 +1,55 @@
+package exp
+
+import "prodigy/internal/stats"
+
+// ScalabilityResult is the Section VI-F study: throughput and memory
+// bandwidth utilization as core count grows, baseline vs Prodigy.
+type ScalabilityResult struct {
+	Cores []int
+	// BaseThroughput / ProThroughput are relative throughputs (1/cycles,
+	// normalized to the 1-core baseline).
+	BaseThroughput, ProThroughput []float64
+	// BaseUtil / ProUtil are DRAM pipe utilizations.
+	BaseUtil, ProUtil []float64
+}
+
+// Scalability reproduces the Section VI-F discussion on PageRank: an
+// 8-core Prodigy system approaches the bandwidth saturation a far larger
+// non-prefetching system needs (the paper estimates ~40 baseline cores ≈
+// 5× more area for the same throughput).
+func (h *Harness) Scalability(coreCounts []int) (*ScalabilityResult, error) {
+	if len(coreCounts) == 0 {
+		coreCounts = []int{1, 2, 4, 8, 16, 32}
+	}
+	ds := h.Cfg.Datasets[0]
+	out := &ScalabilityResult{Cores: coreCounts}
+	var base1 float64
+	for i, nc := range coreCounts {
+		base, err := h.run("pr", ds, SchemeNone, runVariant{cores: nc})
+		if err != nil {
+			return nil, err
+		}
+		pro, err := h.run("pr", ds, SchemeProdigy, runVariant{cores: nc})
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base1 = float64(base.Res.Cycles)
+		}
+		out.BaseThroughput = append(out.BaseThroughput, base1/float64(base.Res.Cycles))
+		out.ProThroughput = append(out.ProThroughput, base1/float64(pro.Res.Cycles))
+		out.BaseUtil = append(out.BaseUtil, base.Res.DRAMUtilization)
+		out.ProUtil = append(out.ProUtil, pro.Res.DRAMUtilization)
+	}
+	return out, nil
+}
+
+// Table renders the study.
+func (r *ScalabilityResult) Table() *stats.Table {
+	t := stats.NewTable("§VI-F: scalability on pr (throughput normalized to 1-core baseline)",
+		"cores", "base-throughput", "prodigy-throughput", "base-DRAM-util", "prodigy-DRAM-util")
+	for i, c := range r.Cores {
+		t.AddRow(c, r.BaseThroughput[i], r.ProThroughput[i], r.BaseUtil[i], r.ProUtil[i])
+	}
+	return t
+}

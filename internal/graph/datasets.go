@@ -1,0 +1,180 @@
+package graph
+
+import "sync"
+
+// Scale selects dataset sizing. The paper's real datasets (Table II) are
+// 132 MB–7.7 GB; simulating those end-to-end is not feasible in a unit-test
+// budget, so each dataset has a ScaleSmall stand-in shrunk ~1/256 with
+// matched density and skew (cache capacities are shrunk by the same factor
+// in the default simulator config, preserving Table II's size-to-LLC
+// ratios). ScaleTiny is for unit tests.
+type Scale int
+
+// Dataset scales.
+const (
+	// ScaleTiny builds sub-thousand-vertex graphs for unit tests.
+	ScaleTiny Scale = iota
+	// ScaleSmall builds the benchmark stand-ins (~10⁵–10⁶ edges).
+	ScaleSmall
+)
+
+// Dataset names the five graph inputs of Table II.
+type Dataset struct {
+	// Name is the short name used in workload labels (po, lj, or, sk, wb).
+	Name string
+	// FullName is the real dataset being stood in for.
+	FullName string
+	build    func(Scale) *Graph
+}
+
+var datasets = []Dataset{
+	{
+		Name: "po", FullName: "pokec",
+		build: func(s Scale) *Graph {
+			if s == ScaleTiny {
+				return RMAT(8, 8, 11)
+			}
+			return RMAT(13, 15, 11)
+		},
+	},
+	{
+		Name: "lj", FullName: "livejournal",
+		build: func(s Scale) *Graph {
+			if s == ScaleTiny {
+				return RMAT(9, 7, 22)
+			}
+			return RMAT(14, 14, 22)
+		},
+	},
+	{
+		Name: "or", FullName: "orkut",
+		build: func(s Scale) *Graph {
+			if s == ScaleTiny {
+				return RMAT(8, 16, 33)
+			}
+			return RMAT(13, 38, 33)
+		},
+	},
+	{
+		Name: "sk", FullName: "sk-2005",
+		build: func(s Scale) *Graph {
+			if s == ScaleTiny {
+				return WebLike(512, 4096, 32, 44)
+			}
+			return WebLike(16384, 620000, 64, 44)
+		},
+	},
+	{
+		Name: "wb", FullName: "webbase-2001",
+		build: func(s Scale) *Graph {
+			if s == ScaleTiny {
+				return WebLike(768, 3072, 48, 55)
+			}
+			return WebLike(32768, 280000, 96, 55)
+		},
+	},
+}
+
+// DatasetNames returns the five short names in Table II order.
+func DatasetNames() []string {
+	out := make([]string, len(datasets))
+	for i, d := range datasets {
+		out[i] = d.Name
+	}
+	return out
+}
+
+type cacheKey struct {
+	name    string
+	scale   Scale
+	variant string
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey]*Graph{}
+)
+
+// Load returns the named dataset at the given scale. Graphs are memoized;
+// callers must treat them as immutable.
+func Load(name string, scale Scale) *Graph {
+	return loadVariant(name, scale, "dir", func(g *Graph) *Graph { return g })
+}
+
+// LoadUndirected returns the symmetrized dataset (BFS/CC/BC inputs).
+func LoadUndirected(name string, scale Scale) *Graph {
+	return loadVariant(name, scale, "undir", func(g *Graph) *Graph { return g.Undirected() })
+}
+
+// LoadWeighted returns the symmetrized dataset with deterministic edge
+// weights in [1, 64] (SSSP input).
+func LoadWeighted(name string, scale Scale) *Graph {
+	return loadVariant(name, scale, "weighted", func(g *Graph) *Graph {
+		u := g.Undirected()
+		u.AddWeights(77, 64)
+		return u
+	})
+}
+
+// LoadWithCSC returns the directed dataset with its transpose built
+// (PageRank input: CSC for pull, CSR out-degrees for contributions).
+func LoadWithCSC(name string, scale Scale) *Graph {
+	return loadVariant(name, scale, "csc", func(g *Graph) *Graph {
+		c := &Graph{NumNodes: g.NumNodes, OffsetList: g.OffsetList, EdgeList: g.EdgeList}
+		c.BuildCSC()
+		return c
+	})
+}
+
+// LoadHubSorted returns the HubSort-reordered variant of the base loader's
+// output ("undir", "weighted", or "csc"); Fig. 18 inputs.
+func LoadHubSorted(name string, scale Scale, base string) *Graph {
+	return loadVariant(name, scale, "hub-"+base, func(*Graph) *Graph {
+		var g *Graph
+		switch base {
+		case "undir":
+			g = LoadUndirected(name, scale)
+		case "weighted":
+			g = LoadWeighted(name, scale)
+		case "csc":
+			g = LoadWithCSC(name, scale)
+		default:
+			g = Load(name, scale)
+		}
+		h := HubSort(g)
+		if base == "csc" {
+			h.BuildCSC()
+		}
+		return h
+	})
+}
+
+func loadVariant(name string, scale Scale, variant string, f func(*Graph) *Graph) *Graph {
+	key := cacheKey{name, scale, variant}
+	cacheMu.Lock()
+	if g, ok := cache[key]; ok {
+		cacheMu.Unlock()
+		return g
+	}
+	cacheMu.Unlock()
+
+	var g *Graph
+	for _, d := range datasets {
+		if d.Name == name {
+			// Build outside the lock: variant builders may recursively load
+			// their base variant.
+			g = f(d.build(scale))
+			break
+		}
+	}
+	if g == nil {
+		panic("graph: unknown dataset " + name)
+	}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if prev, ok := cache[key]; ok {
+		return prev
+	}
+	cache[key] = g
+	return g
+}

@@ -1,0 +1,79 @@
+package graph
+
+// Uniform generates an Erdős–Rényi style directed graph with n vertices and
+// m edges drawn uniformly at random (GAP's urand analogue).
+func Uniform(n, m int, seed uint64) *Graph {
+	r := NewRand(seed)
+	src := make([]uint32, m)
+	dst := make([]uint32, m)
+	for i := 0; i < m; i++ {
+		src[i] = uint32(r.Intn(n))
+		dst[i] = uint32(r.Intn(n))
+	}
+	return FromEdges(n, src, dst)
+}
+
+// RMAT generates a power-law graph with the recursive-matrix method
+// (Graph500/kron analogue). scale is log2 of the vertex count; edgeFactor
+// is edges per vertex. Probabilities follow the standard (a,b,c,d) =
+// (0.57, 0.19, 0.19, 0.05) parameterization.
+func RMAT(scale, edgeFactor int, seed uint64) *Graph {
+	n := 1 << scale
+	m := n * edgeFactor
+	r := NewRand(seed)
+	const a, b, c = 0.57, 0.19, 0.19
+	src := make([]uint32, m)
+	dst := make([]uint32, m)
+	for i := 0; i < m; i++ {
+		var u, v uint32
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// upper-left: neither bit set
+			case p < a+b:
+				v |= 1 << uint(bit)
+			case p < a+b+c:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		src[i] = u
+		dst[i] = v
+	}
+	return FromEdges(n, src, dst)
+}
+
+// WebLike generates a skewed host-clustered graph approximating web crawls
+// (sk-2005 / webbase-2001 stand-in): vertices are grouped into "hosts";
+// most edges stay within a host (high locality runs in the edge list) while
+// a power-law minority cross hosts toward hub pages.
+func WebLike(n, m, hostSize int, seed uint64) *Graph {
+	r := NewRand(seed)
+	src := make([]uint32, m)
+	dst := make([]uint32, m)
+	nhubs := n / 64
+	if nhubs < 1 {
+		nhubs = 1
+	}
+	for i := 0; i < m; i++ {
+		u := uint32(r.Intn(n))
+		src[i] = u
+		if r.Float64() < 0.8 {
+			// Intra-host edge.
+			host := int(u) / hostSize * hostSize
+			span := hostSize
+			if host+span > n {
+				span = n - host
+			}
+			dst[i] = uint32(host + r.Intn(span))
+		} else {
+			// Cross-host edge to a hub (Zipf-ish over the hub set).
+			rank := int(float64(nhubs) * r.Float64() * r.Float64())
+			dst[i] = uint32(rank * 61 % n)
+		}
+	}
+	return FromEdges(n, src, dst)
+}

@@ -1,0 +1,33 @@
+package graph
+
+// Rand is a small deterministic PRNG (xorshift64*) so dataset generation is
+// reproducible without pulling in math/rand's global state.
+type Rand struct{ s uint64 }
+
+// NewRand returns a PRNG seeded with seed (zero is remapped).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{s: seed}
+}
+
+// Next returns the next 64-bit pseudo-random value.
+func (r *Rand) Next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	return int(r.Next() % uint64(n))
+}

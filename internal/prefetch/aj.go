@@ -1,0 +1,79 @@
+package prefetch
+
+import "prodigy/internal/dig"
+
+// AJ returns a model of Ainsworth & Jones' graph prefetcher (ICS'16): a
+// hardware unit configured with the BFS data structures (work queue,
+// offset list, edge list, visited list) that walks that fixed pattern
+// ahead of the core.
+//
+// Structural differences from Prodigy that Section VI-C identifies:
+//
+//   - it targets the BFS traversal shape, so the programmed graph is
+//     truncated to the DIG's single longest chain (arbitrary DIG shapes
+//     with side nodes are not covered);
+//   - it initiates one prefetch sequence per trigger and never drops a
+//     sequence, so when the core catches up the latency is only
+//     partially hidden (the paper measures 44.6% useful prefetches vs
+//     Prodigy's 62.7%).
+//
+// The implementation reuses Prodigy's walking machinery through the
+// chain-shaped DIG; the behavioural restrictions are what make it a
+// different design point, not a different code path.
+func AJ(d *dig.DIG, newWalker func(chain *dig.DIG) Factory) Factory {
+	chain := ChainDIG(d)
+	if chain == nil {
+		return None()
+	}
+	return newWalker(chain)
+}
+
+// ChainDIG truncates a DIG to its single longest traversal chain starting
+// at a trigger node, the access shape Ainsworth & Jones' prefetcher is
+// built for. Returns nil if the DIG has no trigger.
+func ChainDIG(d *dig.DIG) *dig.DIG {
+	triggers := d.TriggerNodes()
+	if len(triggers) == 0 {
+		return nil
+	}
+	// Find the longest simple path from any trigger.
+	var best []dig.Edge
+	var dfs func(id dig.NodeID, path []dig.Edge, seen map[dig.NodeID]bool)
+	dfs = func(id dig.NodeID, path []dig.Edge, seen map[dig.NodeID]bool) {
+		if len(path) > len(best) {
+			best = append([]dig.Edge(nil), path...)
+		}
+		seen[id] = true
+		for _, e := range d.OutEdges(id) {
+			if !seen[e.Dst] {
+				dfs(e.Dst, append(path, e), seen)
+			}
+		}
+		seen[id] = false
+	}
+	start := triggers[0]
+	dfs(start, nil, map[dig.NodeID]bool{})
+
+	b := dig.NewBuilder()
+	keep := map[dig.NodeID]bool{start: true}
+	for _, e := range best {
+		keep[e.Dst] = true
+	}
+	for _, n := range d.Nodes {
+		if keep[n.ID] {
+			b.RegisterNode(n.Name, n.Base, n.NumElems(), int(n.DataSize), int(n.ID))
+		}
+	}
+	for _, e := range best {
+		src := d.NodeByID(e.Src)
+		dst := d.NodeByID(e.Dst)
+		b.RegisterTravEdge(src.Base, dst.Base, e.Type)
+	}
+	trigNode := d.NodeByID(start)
+	b.RegisterTrigEdge(trigNode.Base, d.TriggerCfg[start])
+	chain, err := b.Build()
+	if err != nil {
+		return nil
+	}
+	return chain
+}

@@ -1,0 +1,141 @@
+package prefetch
+
+import (
+	"prodigy/internal/cache"
+	"prodigy/internal/dig"
+)
+
+// DropletConfig parameterizes the DROPLET model.
+type DropletConfig struct {
+	// StreamLines is how many sequential edge-list lines are fetched per
+	// DRAM-serviced trigger.
+	StreamLines int
+	// WindowLines bounds how far ahead of the latest demand trigger the
+	// fill-cascaded stream may run; without it the cascade is
+	// self-sustaining (fills trigger fills) and unbounded.
+	WindowLines int
+}
+
+// DefaultDropletConfig returns a 4-line stream depth with a 32-line
+// demand-anchored window.
+func DefaultDropletConfig() DropletConfig { return DropletConfig{StreamLines: 4, WindowLines: 32} }
+
+// Droplet returns a model of DROPLET (Basak et al., HPCA'19): a
+// data-aware prefetcher that streams the edge list and dereferences edge
+// values into visited/property arrays.
+//
+// Its two structural limitations, per Section VI-C, are modeled exactly:
+//
+//   - coverage: only "edge list and visited list-like arrays exhibiting
+//     single-valued indirection" are prefetched — edge-list-like nodes are
+//     the destinations of ranged DIG edges, visited-like nodes are their
+//     single-valued successors; work queues and offset lists are never
+//     prefetched;
+//   - timeliness: further prefetches trigger only from responses serviced
+//     by DRAM ("it can only trigger further prefetches from prefetch
+//     requests serviced from DRAM, while much of the prefetched data are
+//     present in the cache hierarchy").
+//
+// The DIG here plays the role of DROPLET's data-structure knowledge
+// registers (its design also assumes the software communicates array
+// bounds).
+func Droplet(d *dig.DIG, cfg DropletConfig) Factory {
+	// Identify edge-list-like nodes (ranged destinations) and their
+	// visited-like successors.
+	edgeNodes := map[dig.NodeID]bool{}
+	for _, e := range d.Edges {
+		if e.Type == dig.Ranged {
+			edgeNodes[e.Dst] = true
+		}
+	}
+	return func(env Env) Prefetcher {
+		return &dropletPF{
+			env: env, d: d, cfg: cfg, edgeNodes: edgeNodes,
+			lastDemand: map[dig.NodeID]uint64{},
+		}
+	}
+}
+
+// dropletEdgeMeta tags in-flight edge-list line prefetches so their fills
+// can be dereferenced.
+const dropletEdgeMeta uint32 = 1
+
+type dropletPF struct {
+	env       Env
+	d         *dig.DIG
+	cfg       DropletConfig
+	edgeNodes map[dig.NodeID]bool
+	// lastDemand anchors the stream window to the newest demand-triggered
+	// line per edge node.
+	lastDemand map[dig.NodeID]uint64
+}
+
+func (p *dropletPF) Name() string { return "droplet" }
+
+func (p *dropletPF) OnDemand(now int64, pc uint32, addr uint64, level cache.Level) {
+	if level != cache.LvlMem {
+		return // memory-side prefetcher: only DRAM responses trigger
+	}
+	n := p.d.NodeContaining(addr)
+	if n == nil || !p.edgeNodes[n.ID] {
+		return
+	}
+	line := uint64(p.env.LineSize)
+	p.lastDemand[n.ID] = addr / line * line
+	p.handleEdgeLine(n, addr)
+}
+
+func (p *dropletPF) OnFill(now int64, addr uint64, meta uint32, level cache.Level) {
+	if meta != dropletEdgeMeta || level != cache.LvlMem {
+		return
+	}
+	n := p.d.NodeContaining(addr)
+	if n == nil || !p.edgeNodes[n.ID] {
+		return
+	}
+	p.handleEdgeLine(n, addr)
+}
+
+// handleEdgeLine streams ahead in the edge list and dereferences the
+// line's edge values into visited-like arrays.
+func (p *dropletPF) handleEdgeLine(n *dig.Node, addr uint64) {
+	line := uint64(p.env.LineSize)
+	lineAddr := addr / line * line
+
+	// Stream: next few edge-list lines, bounded to a window ahead of the
+	// newest demand trigger so the fill cascade tracks the core.
+	limit := p.lastDemand[n.ID] + uint64(p.cfg.WindowLines)*line
+	for i := uint64(1); i <= uint64(p.cfg.StreamLines); i++ {
+		next := lineAddr + i*line
+		if next >= n.Bound || next > limit {
+			break
+		}
+		if p.env.Probe(next) == cache.LvlNone {
+			p.env.Issue(next, dropletEdgeMeta)
+		}
+	}
+
+	// Dereference: edge values in this line index visited-like arrays.
+	for elem := lineAddr; elem < lineAddr+line && elem < n.Bound; elem += uint64(n.DataSize) {
+		if elem < n.Base {
+			continue
+		}
+		val, ok := p.env.Read(elem)
+		if !ok {
+			continue
+		}
+		for _, e := range p.d.OutEdges(n.ID) {
+			if e.Type != dig.SingleValued {
+				continue
+			}
+			dst := p.d.NodeByID(e.Dst)
+			if dst == nil || val >= dst.NumElems() {
+				continue
+			}
+			target := dst.ElemAddr(val)
+			if p.env.Probe(target) == cache.LvlNone {
+				p.env.Issue(target, UntrackedMeta)
+			}
+		}
+	}
+}

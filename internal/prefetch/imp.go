@@ -1,0 +1,142 @@
+package prefetch
+
+import "prodigy/internal/cache"
+
+// IMPConfig parameterizes the indirect memory prefetcher.
+type IMPConfig struct {
+	// Distance is how many index elements ahead to prefetch.
+	Distance int
+	// TableSize is the number of PC-indexed stream entries.
+	TableSize int
+}
+
+// DefaultIMPConfig returns distance 16 with a 32-entry table.
+func DefaultIMPConfig() IMPConfig { return IMPConfig{Distance: 16, TableSize: 32} }
+
+// IMP returns the Indirect Memory Prefetcher (Yu et al., MICRO'15). It
+// detects streaming loads over an index array B, learns the coefficients
+// of A[B[i]]-style accesses by correlating index values with subsequent
+// miss addresses, and prefetches A[B[i+Δ]].
+//
+// Faithful to the paper's structural limits (and the reasons Section VI-C
+// gives for Prodigy's 2.3× advantage): only A[B[i]] streaming patterns are
+// detected, at most two indirection levels are covered, and ranged
+// indirection is not supported.
+func IMP(cfg IMPConfig) Factory {
+	return func(env Env) Prefetcher {
+		return &impPF{env: env, cfg: cfg, streams: make([]impStream, cfg.TableSize)}
+	}
+}
+
+// impStream is one PC's stream-detection and indirect-pattern state.
+type impStream struct {
+	pc       uint32
+	lastAddr uint64
+	stride   int64 // element stride in bytes (4 or 8 once locked)
+	count    int   // consecutive confirmations
+	lastVal  uint64
+
+	// Learned indirection: target = indBase + value<<indShift.
+	indValid bool
+	indBase  uint64
+	indShift uint
+	// candBase/candCount track one candidate base per shift (2 and 3).
+	candBase   [2]uint64
+	candCount  [2]int
+	pendingVal uint64 // index value awaiting a miss to correlate with
+	hasPending bool
+}
+
+type impPF struct {
+	env     Env
+	cfg     IMPConfig
+	streams []impStream
+	// lastStream points at the most recently advanced streaming entry so
+	// a following miss can be correlated with its index value.
+	lastStream *impStream
+}
+
+func (p *impPF) Name() string { return "imp" }
+
+func (p *impPF) OnDemand(now int64, pc uint32, addr uint64, level cache.Level) {
+	e := &p.streams[int(pc)%p.cfg.TableSize]
+	if e.pc == pc {
+		d := int64(addr) - int64(e.lastAddr)
+		if d == 0 {
+			return // same element re-demanded
+		}
+		if (d == 4 || d == 8) && (e.stride == 0 || e.stride == d) {
+			e.stride = d
+			e.count++
+			e.lastAddr = addr
+			p.streamAdvance(e, addr)
+			return
+		}
+	}
+
+	// Not a stream advance: try to correlate this access (if it missed)
+	// with the most recent stream value — the indirect pattern detector.
+	if level != cache.LvlL1 {
+		p.correlate(addr)
+	}
+	*e = impStream{pc: pc, lastAddr: addr}
+}
+
+// streamAdvance records the stream's current value, tries to learn the
+// indirection, and issues prefetches once confident.
+func (p *impPF) streamAdvance(e *impStream, addr uint64) {
+	if v, ok := p.env.Read(addr); ok {
+		e.lastVal = v
+		e.pendingVal = v
+		e.hasPending = true
+	}
+	p.lastStream = e
+	if e.count < 2 {
+		return
+	}
+	dist := uint64(p.cfg.Distance)
+	// Prefetch the index stream itself.
+	idxTarget := uint64(int64(addr) + int64(dist)*e.stride)
+	if p.env.Probe(idxTarget) == cache.LvlNone {
+		p.env.Issue(idxTarget, UntrackedMeta)
+	}
+	if !e.indValid {
+		return
+	}
+	// Prefetch the indirect target for the future index value.
+	fv, ok := p.env.Read(idxTarget)
+	if !ok {
+		return
+	}
+	target := e.indBase + fv<<e.indShift
+	if p.env.Probe(target) == cache.LvlNone {
+		p.env.Issue(target, UntrackedMeta)
+	}
+}
+
+// correlate tests whether missAddr equals base + value<<shift for the most
+// recent stream value; two consistent observations lock the pattern.
+func (p *impPF) correlate(missAddr uint64) {
+	e := p.lastStream
+	if e == nil || !e.hasPending || e.indValid {
+		return
+	}
+	v := e.pendingVal
+	e.hasPending = false
+	for i, shift := range []uint{2, 3} {
+		base := missAddr - v<<shift
+		if e.candCount[i] > 0 && e.candBase[i] == base {
+			e.candCount[i]++
+			if e.candCount[i] >= 2 {
+				e.indValid = true
+				e.indBase = base
+				e.indShift = shift
+			}
+		} else {
+			e.candBase[i] = base
+			e.candCount[i] = 1
+		}
+	}
+}
+
+func (p *impPF) OnFill(int64, uint64, uint32, cache.Level) {}

@@ -1,0 +1,63 @@
+// Package prefetch defines the hardware-prefetcher interface shared by
+// Prodigy and the baseline prefetchers the paper compares against
+// (Section VI-C): per-PC stride, GHB-based G/DC, IMP, Ainsworth & Jones'
+// graph prefetcher, and DROPLET.
+//
+// A prefetcher instance is private to one core. It observes demand
+// accesses to the L1D (OnDemand) and prefetch fills (OnFill), and issues
+// requests through its Env.
+package prefetch
+
+import "prodigy/internal/cache"
+
+// UntrackedMeta is the Meta value for fire-and-forget prefetches whose
+// fills need no further processing (leaf-node data).
+const UntrackedMeta uint32 = 0xFFFFFFFF
+
+// Env is the machine interface the simulator hands each prefetcher.
+type Env struct {
+	// Core is the owning core's index.
+	Core int
+	// LineSize is the cache line size in bytes.
+	LineSize int
+	// Probe reports where addr currently resides for this core without
+	// disturbing cache state.
+	Probe func(addr uint64) cache.Level
+	// Read performs a functional read of the element at addr (hardware
+	// reads prefetched data off the fill path; Section VI-E).
+	Read func(addr uint64) (uint64, bool)
+	// Issue enqueues a prefetch for the line containing addr. The fill —
+	// whenever it completes — is reported back via OnFill with the same
+	// meta. Issue never blocks; duplicate in-flight lines are merged by
+	// the memory system. It returns false when the request was dropped
+	// (per-core MSHR cap) and no fill will ever arrive — trackers must
+	// release any state tied to the request.
+	Issue func(addr uint64, meta uint32) bool
+}
+
+// Prefetcher is a per-core hardware prefetcher.
+type Prefetcher interface {
+	// Name identifies the scheme in results tables.
+	Name() string
+	// OnDemand is called for every demand load/store/atomic the core
+	// sends to the L1D, after the access is resolved; level is where it
+	// was serviced.
+	OnDemand(now int64, pc uint32, addr uint64, level cache.Level)
+	// OnFill is called when a prefetch issued with meta completes;
+	// level is where the memory system serviced it.
+	OnFill(now int64, addr uint64, meta uint32, level cache.Level)
+}
+
+// Factory builds a prefetcher bound to a core's Env.
+type Factory func(env Env) Prefetcher
+
+// None returns the non-prefetching baseline.
+func None() Factory {
+	return func(Env) Prefetcher { return nonePrefetcher{} }
+}
+
+type nonePrefetcher struct{}
+
+func (nonePrefetcher) Name() string                                { return "none" }
+func (nonePrefetcher) OnDemand(int64, uint32, uint64, cache.Level) {}
+func (nonePrefetcher) OnFill(int64, uint64, uint32, cache.Level)   {}

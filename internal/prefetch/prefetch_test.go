@@ -1,0 +1,303 @@
+package prefetch
+
+import (
+	"testing"
+
+	"prodigy/internal/cache"
+	"prodigy/internal/dig"
+	"prodigy/internal/memspace"
+)
+
+type fakeEnv struct {
+	space    *memspace.Space
+	resident map[uint64]bool
+	issued   []uint64
+	metas    []uint32
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{space: memspace.New(), resident: map[uint64]bool{}}
+}
+
+func (f *fakeEnv) env() Env {
+	return Env{
+		Core:     0,
+		LineSize: 64,
+		Probe: func(addr uint64) cache.Level {
+			if f.resident[addr/64] {
+				return cache.LvlL1
+			}
+			return cache.LvlNone
+		},
+		Read: func(addr uint64) (uint64, bool) { return f.space.ReadAt(addr) },
+		Issue: func(addr uint64, meta uint32) bool {
+			f.issued = append(f.issued, addr)
+			f.metas = append(f.metas, meta)
+			return true
+		},
+	}
+}
+
+func TestNonePrefetcherDoesNothing(t *testing.T) {
+	f := newFakeEnv()
+	p := None()(f.env())
+	p.OnDemand(0, 1, 0x1000, cache.LvlMem)
+	p.OnFill(0, 0x1000, 0, cache.LvlMem)
+	if p.Name() != "none" || len(f.issued) != 0 {
+		t.Fatal("none prefetcher acted")
+	}
+}
+
+func TestStrideLearnsAndPrefetches(t *testing.T) {
+	f := newFakeEnv()
+	p := Stride(DefaultStrideConfig())(f.env())
+	// Stride of 64 bytes, one access per line.
+	for i := uint64(0); i < 5; i++ {
+		p.OnDemand(0, 7, 0x10000+i*64, cache.LvlMem)
+	}
+	if len(f.issued) == 0 {
+		t.Fatal("confident stride issued nothing")
+	}
+	// At least one prefetch must run ahead of the whole demand stream, and
+	// every prefetch must be ahead of the access that triggered it (all
+	// accesses ascend, so anything at/below the first trigger is stale).
+	maxIssued := uint64(0)
+	for _, a := range f.issued {
+		if a > maxIssued {
+			maxIssued = a
+		}
+		if a <= 0x10000 {
+			t.Fatalf("prefetch %#x behind the stream", a)
+		}
+	}
+	if maxIssued <= 0x10000+4*64 {
+		t.Fatalf("no prefetch ahead of last access (max %#x)", maxIssued)
+	}
+}
+
+func TestStrideRandomStreamStaysQuiet(t *testing.T) {
+	f := newFakeEnv()
+	p := Stride(DefaultStrideConfig())(f.env())
+	addrs := []uint64{0x1000, 0x9340, 0x2780, 0xF000, 0x3210, 0x8888}
+	for _, a := range addrs {
+		p.OnDemand(0, 7, a, cache.LvlMem)
+	}
+	if len(f.issued) != 0 {
+		t.Fatalf("random stream triggered %d prefetches", len(f.issued))
+	}
+}
+
+func TestGHBDeltaCorrelation(t *testing.T) {
+	f := newFakeEnv()
+	p := GHB(DefaultGHBConfig())(f.env())
+	// Repeating delta pattern in the miss stream: +1, +2 lines.
+	addr := uint64(0x100000)
+	deltas := []uint64{64, 128, 64, 128, 64, 128}
+	p.OnDemand(0, 1, addr, cache.LvlMem)
+	for _, d := range deltas {
+		addr += d
+		p.OnDemand(0, 1, addr, cache.LvlMem)
+	}
+	if len(f.issued) == 0 {
+		t.Fatal("G/DC found no repeating delta pair")
+	}
+}
+
+func TestGHBIgnoresL1Hits(t *testing.T) {
+	f := newFakeEnv()
+	p := GHB(DefaultGHBConfig())(f.env())
+	for i := uint64(0); i < 20; i++ {
+		p.OnDemand(0, 1, 0x1000+i*64, cache.LvlL1)
+	}
+	if len(f.issued) != 0 {
+		t.Fatal("G/DC trained on hits")
+	}
+}
+
+func TestIMPLearnsSingleIndirection(t *testing.T) {
+	f := newFakeEnv()
+	idx := f.space.AllocU32("B", 256)  // index array, streamed
+	data := f.space.AllocU32("A", 512) // indirect target A[B[i]]
+	for i := range idx.Data {
+		idx.Data[i] = uint32((i * 37) % 512)
+	}
+	p := IMP(DefaultIMPConfig())(f.env())
+	// Interleave: stream load of B[i] (pc 1), then miss on A[B[i]] (pc 2).
+	for i := 0; i < 24; i++ {
+		p.OnDemand(0, 1, idx.Addr(i), cache.LvlMem)
+		p.OnDemand(0, 2, data.Addr(int(idx.Data[i])), cache.LvlMem)
+	}
+	// After learning, IMP must have issued prefetches into A for future
+	// index values.
+	foundIndirect := false
+	for _, a := range f.issued {
+		if data.Contains(a) {
+			foundIndirect = true
+			// Must correspond to some future B value.
+			got := (a - data.BaseAddr) / 4
+			ok := false
+			for _, v := range idx.Data {
+				if uint64(v) == got {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("indirect prefetch %#x not a valid A[B[i]]", a)
+			}
+		}
+	}
+	if !foundIndirect {
+		t.Fatal("IMP never issued an indirect prefetch")
+	}
+}
+
+func TestIMPStreamOnlyPrefetchesIndexArray(t *testing.T) {
+	f := newFakeEnv()
+	idx := f.space.AllocU32("B", 256)
+	p := IMP(DefaultIMPConfig())(f.env())
+	for i := 0; i < 8; i++ {
+		p.OnDemand(0, 1, idx.Addr(i), cache.LvlMem)
+	}
+	if len(f.issued) == 0 {
+		t.Fatal("no stream prefetches")
+	}
+	for _, a := range f.issued {
+		if !idx.Contains(a) {
+			t.Fatalf("prefetch %#x outside the streamed array", a)
+		}
+	}
+}
+
+// digFixture builds a BFS-shaped DIG over real arrays.
+func digFixture(t *testing.T, f *fakeEnv) (*dig.DIG, *memspace.U32, *memspace.U32, *memspace.U32, *memspace.U32) {
+	t.Helper()
+	workQ := f.space.AllocU32("workQ", 32)
+	offsets := f.space.AllocU32("offsets", 17)
+	edges := f.space.AllocU32("edges", 64)
+	visited := f.space.AllocU32("visited", 16)
+	for i := 0; i <= 16; i++ {
+		offsets.Data[i] = uint32(4 * i)
+	}
+	for i := range edges.Data {
+		edges.Data[i] = uint32(i % 16)
+	}
+	b := dig.NewBuilder()
+	b.RegisterNode("workQ", workQ.BaseAddr, 32, 4, 0)
+	b.RegisterNode("offsets", offsets.BaseAddr, 17, 4, 1)
+	b.RegisterNode("edges", edges.BaseAddr, 64, 4, 2)
+	b.RegisterNode("visited", visited.BaseAddr, 16, 4, 3)
+	b.RegisterTravEdge(workQ.BaseAddr, offsets.BaseAddr, dig.SingleValued)
+	b.RegisterTravEdge(offsets.BaseAddr, edges.BaseAddr, dig.Ranged)
+	b.RegisterTravEdge(edges.BaseAddr, visited.BaseAddr, dig.SingleValued)
+	b.RegisterTrigEdge(workQ.BaseAddr, dig.TriggerConfig{Lookahead: 2, NumSeqs: 2})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, workQ, offsets, edges, visited
+}
+
+func TestDropletOnlyTriggersFromDRAM(t *testing.T) {
+	f := newFakeEnv()
+	d, _, _, edges, _ := digFixture(t, f)
+	p := Droplet(d, DefaultDropletConfig())(f.env())
+	// Cache-serviced edge access: nothing.
+	p.OnDemand(0, 1, edges.Addr(0), cache.LvlL2)
+	if len(f.issued) != 0 {
+		t.Fatal("DROPLET triggered from a cache hit")
+	}
+	// DRAM-serviced edge access: streams + dereferences.
+	p.OnDemand(0, 1, edges.Addr(0), cache.LvlMem)
+	if len(f.issued) == 0 {
+		t.Fatal("DROPLET did not trigger from DRAM response")
+	}
+}
+
+func TestDropletCoverageSubset(t *testing.T) {
+	f := newFakeEnv()
+	d, workQ, offsets, edges, visited := digFixture(t, f)
+	p := Droplet(d, DefaultDropletConfig())(f.env())
+	// Work-queue and offset-list DRAM responses must not trigger.
+	p.OnDemand(0, 1, workQ.Addr(0), cache.LvlMem)
+	p.OnDemand(0, 1, offsets.Addr(0), cache.LvlMem)
+	if len(f.issued) != 0 {
+		t.Fatal("DROPLET prefetched outside its data-structure subset")
+	}
+	p.OnDemand(0, 1, edges.Addr(0), cache.LvlMem)
+	for _, a := range f.issued {
+		if !edges.Contains(a) && !visited.Contains(a) {
+			t.Fatalf("DROPLET prefetched %#x outside edges/visited", a)
+		}
+	}
+	// Its own edge-line fill from DRAM cascades.
+	n := len(f.issued)
+	p.OnFill(0, edges.Addr(16), dropletEdgeMeta, cache.LvlMem)
+	if len(f.issued) <= n {
+		t.Fatal("DROPLET edge fill from DRAM did not cascade")
+	}
+	// A fill serviced from cache must not cascade.
+	n = len(f.issued)
+	p.OnFill(0, edges.Addr(32), dropletEdgeMeta, cache.LvlL3)
+	if len(f.issued) != n {
+		t.Fatal("DROPLET cascaded from a cache-serviced fill")
+	}
+}
+
+func TestChainDIGTruncatesToLongestPath(t *testing.T) {
+	f := newFakeEnv()
+	d, _, _, _, _ := digFixture(t, f)
+	chain := ChainDIG(d)
+	if chain == nil {
+		t.Fatal("chain is nil")
+	}
+	// BFS DIG is already a chain: all 4 nodes survive.
+	if len(chain.Nodes) != 4 || len(chain.Edges) != 3 {
+		t.Fatalf("chain nodes=%d edges=%d", len(chain.Nodes), len(chain.Edges))
+	}
+
+	// Add a side branch: workQ -> visited directly; chain must drop it.
+	b := dig.NewBuilder()
+	a1 := f.space.AllocU32("a1", 16)
+	a2 := f.space.AllocU32("a2", 16)
+	a3 := f.space.AllocU32("a3", 16)
+	side := f.space.AllocU32("side", 16)
+	b.RegisterNode("a1", a1.BaseAddr, 16, 4, 0)
+	b.RegisterNode("a2", a2.BaseAddr, 16, 4, 1)
+	b.RegisterNode("a3", a3.BaseAddr, 16, 4, 2)
+	b.RegisterNode("side", side.BaseAddr, 16, 4, 3)
+	b.RegisterTravEdge(a1.BaseAddr, a2.BaseAddr, dig.SingleValued)
+	b.RegisterTravEdge(a2.BaseAddr, a3.BaseAddr, dig.SingleValued)
+	b.RegisterTravEdge(a1.BaseAddr, side.BaseAddr, dig.SingleValued)
+	b.RegisterTrigEdge(a1.BaseAddr, dig.TriggerConfig{})
+	d2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain2 := ChainDIG(d2)
+	if len(chain2.Nodes) != 3 || len(chain2.Edges) != 2 {
+		t.Fatalf("branched chain nodes=%d edges=%d, want 3/2", len(chain2.Nodes), len(chain2.Edges))
+	}
+	if chain2.NodeByID(3) != nil {
+		t.Fatal("side branch survived truncation")
+	}
+}
+
+func TestAJFactoryWiresWalker(t *testing.T) {
+	f := newFakeEnv()
+	d, _, _, _, _ := digFixture(t, f)
+	called := false
+	fac := AJ(d, func(chain *dig.DIG) Factory {
+		called = true
+		if chain == nil || len(chain.Nodes) != 4 {
+			t.Fatalf("walker got wrong chain")
+		}
+		return None()
+	})
+	if !called {
+		t.Fatal("walker constructor not called")
+	}
+	if fac(f.env()).Name() != "none" {
+		t.Fatal("factory not threaded through")
+	}
+}

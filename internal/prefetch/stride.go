@@ -1,0 +1,72 @@
+package prefetch
+
+import "prodigy/internal/cache"
+
+// StrideConfig parameterizes the per-PC stride prefetcher.
+type StrideConfig struct {
+	// TableSize is the number of PC-indexed entries.
+	TableSize int
+	// Degree is how many strided lines are prefetched once confident.
+	Degree int
+}
+
+// DefaultStrideConfig returns a 64-entry degree-4 configuration.
+func DefaultStrideConfig() StrideConfig { return StrideConfig{TableSize: 64, Degree: 4} }
+
+// Stride returns a classic per-PC stride prefetcher: it learns a constant
+// address delta per static load and, at two confirmations, prefetches
+// `degree` lines ahead. Irregular indirect accesses never confirm, which
+// is why this class of prefetcher fails on the paper's workloads.
+func Stride(cfg StrideConfig) Factory {
+	return func(env Env) Prefetcher {
+		return &stridePF{env: env, cfg: cfg, table: make([]strideEntry, cfg.TableSize)}
+	}
+}
+
+type strideEntry struct {
+	pc     uint32
+	last   uint64
+	stride int64
+	conf   uint8
+}
+
+type stridePF struct {
+	env   Env
+	cfg   StrideConfig
+	table []strideEntry
+}
+
+func (p *stridePF) Name() string { return "stride" }
+
+func (p *stridePF) OnDemand(now int64, pc uint32, addr uint64, level cache.Level) {
+	e := &p.table[int(pc)%p.cfg.TableSize]
+	if e.pc != pc {
+		*e = strideEntry{pc: pc, last: addr}
+		return
+	}
+	d := int64(addr) - int64(e.last)
+	e.last = addr
+	if d == 0 {
+		return
+	}
+	if d == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = d
+		e.conf = 0
+		return
+	}
+	if e.conf < 2 {
+		return
+	}
+	for i := 1; i <= p.cfg.Degree; i++ {
+		target := uint64(int64(addr) + int64(i)*e.stride)
+		if p.env.Probe(target) == cache.LvlNone {
+			p.env.Issue(target, UntrackedMeta)
+		}
+	}
+}
+
+func (p *stridePF) OnFill(int64, uint64, uint32, cache.Level) {}

@@ -1,0 +1,448 @@
+// Package sim is the multi-core timing engine: it connects per-core CPU
+// models (internal/cpu), the cache hierarchy (internal/cache), the memory
+// controller (internal/dram), per-core TLBs, and per-core prefetchers into
+// one event-driven simulation over a workload's instruction streams.
+//
+// The engine is cycle-accurate at the level the paper's results need:
+// loads resolve through the hierarchy with Table I latencies, prefetches
+// are asynchronous events that fill the L1D on completion, demand accesses
+// to in-flight prefetch lines merge (partial latency hiding), and barriers
+// synchronize cores. Time advances by skipping to the next interesting
+// cycle, so fully-stalled regions cost no simulation work.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"prodigy/internal/cache"
+	"prodigy/internal/cpu"
+	"prodigy/internal/dram"
+	"prodigy/internal/memspace"
+	"prodigy/internal/prefetch"
+	"prodigy/internal/tlb"
+	"prodigy/internal/trace"
+)
+
+// Config assembles a machine.
+type Config struct {
+	Cores int
+	CPU   cpu.Config
+	Cache cache.Config
+	DRAM  dram.Config
+	TLB   tlb.Config
+	// Prefetcher builds each core's prefetcher; nil means no prefetching.
+	Prefetcher prefetch.Factory
+	// MaxCycles aborts runaway simulations; 0 means a large default.
+	MaxCycles int64
+	// PrefetchMSHRs caps outstanding prefetch lines per core (the
+	// prefetch request queue; requests beyond the cap are dropped and the
+	// issuer is told). 0 means the default of 128.
+	PrefetchMSHRs int
+	// MissHook, when set, is called with the byte address of every demand
+	// access that missed the whole hierarchy (the Fig. 13 classifier).
+	MissHook func(addr uint64)
+	// PrefetchFillL2 places prefetch fills in the L2 instead of the L1D
+	// (the fill-level ablation; the paper's design fills the L1D).
+	PrefetchFillL2 bool
+}
+
+// Default returns the Table I machine (capacities scaled per DESIGN.md §2)
+// with no prefetcher.
+func Default(cores int) Config {
+	return Config{
+		Cores: cores,
+		CPU:   cpu.DefaultConfig(),
+		Cache: cache.ScaledDefault(cores),
+		DRAM:  dram.Default(),
+		TLB:   tlb.Default(),
+	}
+}
+
+// Stats are engine-level counters.
+type Stats struct {
+	// PrefetchIssued counts prefetch requests sent to the memory system.
+	PrefetchIssued uint64
+	// PrefetchMergedResident counts issues that found the line already in
+	// flight or resident and were absorbed.
+	PrefetchMergedResident uint64
+	// LateMerges counts demand accesses that hit a still-in-flight
+	// prefetch line (the prefetch hid only part of the latency).
+	LateMerges uint64
+	// LateUsedFills counts prefetch fills that had been demanded while in
+	// flight — each such fill is one "partially useful" prefetch (Fig. 15).
+	LateUsedFills uint64
+	// PrefetchMSHRFull counts prefetches dropped at the per-core
+	// outstanding-request cap.
+	PrefetchMSHRFull uint64
+}
+
+// Result is everything an experiment needs from one run.
+type Result struct {
+	Cycles int64
+	// Stacks holds each core's CPI accounting; Agg is their sum.
+	Stacks []cpu.CPIStack
+	Agg    cpu.CPIStack
+	Cache  cache.Stats
+	DRAM   dram.Stats
+	Sim    Stats
+	// Branches/Mispredicts aggregate the predictor counters.
+	Branches, Mispredicts int64
+	// TLBMissRate is the mean across cores.
+	TLBMissRate float64
+	// DRAMUtilization is the controller-pipe busy fraction (§VI-F).
+	DRAMUtilization float64
+	// Prefetchers exposes the per-core prefetcher instances so callers can
+	// type-assert for scheme-specific stats (e.g. *core.Prodigy).
+	Prefetchers []prefetch.Prefetcher
+}
+
+// IPC returns retired instructions per cycle across all cores.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Agg.Retired) / float64(r.Cycles)
+}
+
+// inflightKey identifies an in-flight prefetch line per core.
+type inflightKey struct {
+	core int
+	line uint64
+}
+
+// pfEvent is a pending prefetch completion.
+type pfEvent struct {
+	ready        int64
+	core         int
+	lineAddr     uint64 // byte address of the line start
+	level        cache.Level
+	metas        []uint32
+	demandMerged bool
+	idx          int // heap index
+}
+
+type eventHeap []*pfEvent
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].ready < h[j].ready }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *eventHeap) Push(x interface{}) { e := x.(*pfEvent); e.idx = len(*h); *h = append(*h, e) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Machine is one assembled simulation instance.
+type Machine struct {
+	cfg   Config
+	space *memspace.Space
+	hier  *cache.Hierarchy
+	mem   *dram.Controller
+	tlbs  []*tlb.TLB
+	pfs   []prefetch.Prefetcher
+	cores []*cpu.Core
+
+	now      int64
+	events   eventHeap
+	inflight map[inflightKey]*pfEvent
+	// inflightPerCore tracks outstanding prefetch lines against the MSHR
+	// cap.
+	inflightPerCore []int
+	stats           Stats
+}
+
+// NewMachine wires a machine to a functional memory and per-core
+// instruction streams.
+func NewMachine(cfg Config, space *memspace.Space, gen *trace.Gen) *Machine {
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 1 << 40
+	}
+	if cfg.PrefetchMSHRs == 0 {
+		cfg.PrefetchMSHRs = 128
+	}
+	m := &Machine{
+		cfg:      cfg,
+		space:    space,
+		hier:     cache.New(cfg.Cache),
+		mem:      dram.New(cfg.DRAM),
+		inflight: map[inflightKey]*pfEvent{},
+	}
+	m.inflightPerCore = make([]int, cfg.Cores)
+	fac := cfg.Prefetcher
+	if fac == nil {
+		fac = prefetch.None()
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		m.tlbs = append(m.tlbs, tlb.New(cfg.TLB))
+		core := c
+		env := prefetch.Env{
+			Core:     core,
+			LineSize: cfg.Cache.LineSize,
+			Probe:    func(addr uint64) cache.Level { return m.hier.Probe(core, addr) },
+			Read:     func(addr uint64) (uint64, bool) { return space.ReadAt(addr) },
+			Issue:    func(addr uint64, meta uint32) bool { return m.issuePrefetch(core, addr, meta) },
+		}
+		m.pfs = append(m.pfs, fac(env))
+		memFn := func(now int64, in trace.Instr) (int64, cache.Level) {
+			return m.demandAccess(core, now, in)
+		}
+		softFn := func(now int64, addr uint64) {
+			m.now = now
+			m.issuePrefetch(core, addr, prefetch.UntrackedMeta)
+		}
+		m.cores = append(m.cores, cpu.New(cfg.CPU, gen.Reader(core), memFn, softFn))
+	}
+	return m
+}
+
+// levelLat maps a service level to its cumulative hit latency.
+func (m *Machine) levelLat(lvl cache.Level) int64 {
+	switch lvl {
+	case cache.LvlL1:
+		return int64(m.cfg.Cache.L1Lat)
+	case cache.LvlL2:
+		return int64(m.cfg.Cache.L2Lat)
+	default:
+		return int64(m.cfg.Cache.L3Lat)
+	}
+}
+
+// demandAccess resolves one demand load/store/atomic.
+func (m *Machine) demandAccess(core int, now int64, in trace.Instr) (int64, cache.Level) {
+	m.now = now
+	addr := in.Addr
+	tlbLat := m.tlbs[core].Translate(addr)
+	write := in.Kind == trace.Store || in.Kind == trace.Atomic
+
+	// Merge with an in-flight prefetch of the same line: the demand waits
+	// for the outstanding fill instead of issuing its own request.
+	key := inflightKey{core, addr / uint64(m.cfg.Cache.LineSize)}
+	if ev, ok := m.inflight[key]; ok {
+		ev.demandMerged = true
+		m.stats.LateMerges++
+		// Promote the in-flight prefetch to demand priority (MSHR
+		// promotion): a prefetch deep in the low-priority queue must not
+		// make the demand wait longer than a fresh demand read would. The
+		// line transfer is already booked, so no new bandwidth is consumed.
+		if ev.level == cache.LvlMem {
+			promoted := m.mem.Promote(now + tlbLat + int64(m.cfg.Cache.L3Lat))
+			if promoted < ev.ready {
+				ev.ready = promoted
+				heap.Fix(&m.events, ev.idx)
+			}
+		}
+		base := ev.ready
+		if base < now {
+			base = now
+		}
+		ready := base + tlbLat + int64(m.cfg.Cache.L1Lat)
+		m.pfs[core].OnDemand(now, in.PC, addr, ev.level)
+		return ready, ev.level
+	}
+
+	res := m.hier.Access(core, addr, write)
+	if res.Level == cache.LvlMem && m.cfg.MissHook != nil {
+		m.cfg.MissHook(addr)
+	}
+	var ready int64
+	if res.Level == cache.LvlMem {
+		issued := now + tlbLat + int64(res.Lat)
+		done := m.mem.Request(issued)
+		if in.Kind == trace.Store {
+			// Plain stores drain through the store buffer; the core does
+			// not wait, but the bandwidth was consumed above.
+			ready = now + 1
+		} else {
+			ready = done
+		}
+	} else {
+		ready = now + tlbLat + int64(res.Lat)
+	}
+	m.pfs[core].OnDemand(now, in.PC, addr, res.Level)
+	return ready, res.Level
+}
+
+// issuePrefetch enqueues a prefetch for core. Requests to resident or
+// already-in-flight lines are merged. It returns false only when the
+// request was dropped at the MSHR cap (no fill will arrive).
+func (m *Machine) issuePrefetch(core int, addr uint64, meta uint32) bool {
+	line := uint64(m.cfg.Cache.LineSize)
+	lineAddr := addr / line * line
+	key := inflightKey{core, lineAddr / line}
+	if ev, ok := m.inflight[key]; ok {
+		if meta != prefetch.UntrackedMeta && !containsMeta(ev.metas, meta) {
+			// Duplicate metas would deliver duplicate OnFill callbacks for
+			// one physical fill, letting fill-cascading prefetchers
+			// multiply their own triggers combinatorially.
+			ev.metas = append(ev.metas, meta)
+		}
+		m.stats.PrefetchMergedResident++
+		return true
+	}
+	lvl := m.hier.Probe(core, addr)
+	if lvl == cache.LvlL1 {
+		// Already as close as a prefetch can put it.
+		m.stats.PrefetchMergedResident++
+		if meta != prefetch.UntrackedMeta {
+			m.pfs[core].OnFill(m.now, lineAddr, meta, lvl)
+		}
+		return true
+	}
+	if m.inflightPerCore[core] >= m.cfg.PrefetchMSHRs {
+		m.stats.PrefetchMSHRFull++
+		return false
+	}
+	tlbLat := m.tlbs[core].Translate(addr)
+	var ready int64
+	var level cache.Level
+	if lvl == cache.LvlNone {
+		ready = m.mem.RequestPrefetch(m.now + tlbLat + int64(m.cfg.Cache.L3Lat))
+		level = cache.LvlMem
+	} else {
+		ready = m.now + tlbLat + m.levelLat(lvl)
+		level = lvl
+	}
+	ev := &pfEvent{ready: ready, core: core, lineAddr: lineAddr, level: level}
+	if meta != prefetch.UntrackedMeta {
+		ev.metas = append(ev.metas, meta)
+	}
+	heap.Push(&m.events, ev)
+	m.inflight[key] = ev
+	m.inflightPerCore[core]++
+	m.stats.PrefetchIssued++
+	return true
+}
+
+func containsMeta(metas []uint32, m uint32) bool {
+	for _, x := range metas {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// processEvents completes every prefetch due at or before now.
+func (m *Machine) processEvents(now int64) {
+	for len(m.events) > 0 && m.events[0].ready <= now {
+		ev := heap.Pop(&m.events).(*pfEvent)
+		delete(m.inflight, inflightKey{ev.core, ev.lineAddr / uint64(m.cfg.Cache.LineSize)})
+		m.inflightPerCore[ev.core]--
+		m.now = now
+		if m.cfg.PrefetchFillL2 {
+			m.hier.FillPrefetchL2(ev.core, ev.lineAddr, ev.level)
+		} else {
+			m.hier.FillPrefetch(ev.core, ev.lineAddr, ev.level)
+		}
+		if ev.demandMerged {
+			// The demand already consumed this line; count the prefetch as
+			// used so Fig. 15 doesn't misclassify it as evicted-unused.
+			m.hier.TouchUsed(ev.core, ev.lineAddr)
+			m.stats.LateUsedFills++
+		}
+		for _, meta := range ev.metas {
+			m.pfs[ev.core].OnFill(now, ev.lineAddr, meta, ev.level)
+		}
+	}
+}
+
+// allActiveParked reports whether at least one core is unfinished and all
+// unfinished cores sit at the barrier.
+func (m *Machine) allActiveParked() bool {
+	active := 0
+	for _, c := range m.cores {
+		if c.Done() {
+			continue
+		}
+		if !c.AtBarrier() {
+			return false
+		}
+		active++
+	}
+	return active > 0
+}
+
+// Run drives the machine to completion and returns the results.
+func (m *Machine) Run() (Result, error) {
+	now := int64(0)
+	for {
+		m.processEvents(now)
+		m.now = now
+
+		// Barrier release: if every unfinished core is parked, unpark them
+		// before stepping so they proceed this cycle.
+		if m.allActiveParked() {
+			for _, c := range m.cores {
+				if c.AtBarrier() {
+					c.ReleaseBarrier()
+				}
+			}
+		}
+
+		next := int64(1) << 62
+		allDone := true
+		for _, c := range m.cores {
+			n := c.Step(now)
+			if !c.Done() {
+				allDone = false
+			}
+			if n < next {
+				next = n
+			}
+		}
+		if allDone {
+			break
+		}
+		if m.allActiveParked() {
+			// Stepping parked the last active core; release next cycle.
+			next = now + 1
+		}
+		if len(m.events) > 0 && m.events[0].ready < next {
+			next = m.events[0].ready
+		}
+		if next <= now {
+			next = now + 1
+		}
+		if next >= int64(1)<<62 {
+			// All cores claim no progress is possible but none are done.
+			return Result{}, fmt.Errorf("sim: deadlock at cycle %d", now)
+		}
+		now = next
+		if now > m.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d", m.cfg.MaxCycles)
+		}
+	}
+
+	res := Result{Cycles: now, Prefetchers: m.pfs}
+	var tlbMiss float64
+	for i, c := range m.cores {
+		c.FinishAt(now)
+		res.Stacks = append(res.Stacks, c.Stack)
+		res.Agg.Add(c.Stack)
+		res.Branches += c.Branches
+		res.Mispredicts += c.Mispredicts
+		tlbMiss += m.tlbs[i].MissRate()
+	}
+	res.TLBMissRate = tlbMiss / float64(len(m.cores))
+	res.Cache = m.hier.Stats
+	res.DRAM = m.mem.Stats
+	res.Sim = m.stats
+	res.DRAMUtilization = m.mem.Utilization(now)
+	return res, nil
+}
+
+// Run assembles a machine and runs a workload generator to completion. The
+// producer emits instruction streams into gen while the machine consumes
+// them.
+func Run(cfg Config, space *memspace.Space, gen *trace.Gen, producer func(*trace.Gen)) (Result, error) {
+	m := NewMachine(cfg, space, gen)
+	wait := gen.Run(producer)
+	res, err := m.Run()
+	wait()
+	return res, err
+}

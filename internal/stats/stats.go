@@ -1,0 +1,121 @@
+// Package stats provides the table/series formatting and the small
+// numeric helpers (geomean, normalization) the experiment harness uses to
+// print paper-style results.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs (ignoring non-positive values,
+// which would otherwise poison the log).
+func Geomean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Normalize divides each value by base (returns zeros if base is 0).
+func Normalize(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	if base == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with 3
+// significant decimals.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the formatted row count (for tests).
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

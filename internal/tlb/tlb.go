@@ -1,0 +1,90 @@
+// Package tlb models a per-core data TLB. Prodigy issues prefetches in the
+// virtual address space and translates through the same D-TLB as the core
+// (Section VI-E notes the added contention), so both demand loads and
+// prefetch requests consult it.
+package tlb
+
+// Config parameterizes a TLB.
+type Config struct {
+	Entries  int // total entries (set-associative)
+	Assoc    int
+	PageBits uint  // log2 page size (12 for 4 KB)
+	WalkLat  int64 // page-walk penalty in cycles
+}
+
+// Default returns a 64-entry 4-way 4 KB-page TLB with a 20-cycle walk.
+func Default() Config {
+	return Config{Entries: 64, Assoc: 4, PageBits: 12, WalkLat: 20}
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+type entry struct {
+	vpn uint64 // virtual page number + 1 (0 = invalid)
+	lru uint32
+}
+
+// TLB is one core's translation lookaside buffer.
+type TLB struct {
+	cfg     Config
+	sets    []entry
+	assoc   int
+	setMask uint64
+	tick    uint32
+	Stats   Stats
+}
+
+// New builds a TLB.
+func New(cfg Config) *TLB {
+	numSets := cfg.Entries / cfg.Assoc
+	if numSets == 0 {
+		numSets = 1
+	}
+	if numSets&(numSets-1) != 0 {
+		panic("tlb: set count must be a power of two")
+	}
+	return &TLB{
+		cfg:     cfg,
+		sets:    make([]entry, numSets*cfg.Assoc),
+		assoc:   cfg.Assoc,
+		setMask: uint64(numSets - 1),
+	}
+}
+
+// Translate looks up the page containing addr and returns the added
+// latency (0 on hit, WalkLat on miss, after which the entry is installed).
+func (t *TLB) Translate(addr uint64) int64 {
+	vpn := addr >> t.cfg.PageBits
+	base := int(vpn&t.setMask) * t.assoc
+	set := t.sets[base : base+t.assoc]
+	t.Stats.Accesses++
+	t.tick++
+	for i := range set {
+		if set[i].vpn == vpn+1 {
+			set[i].lru = t.tick
+			return 0
+		}
+	}
+	t.Stats.Misses++
+	// Install over LRU.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = entry{vpn: vpn + 1, lru: t.tick}
+	return t.cfg.WalkLat
+}
+
+// MissRate returns misses/accesses.
+func (t *TLB) MissRate() float64 {
+	if t.Stats.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Stats.Misses) / float64(t.Stats.Accesses)
+}

@@ -1,0 +1,62 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHitAfterMiss(t *testing.T) {
+	tb := New(Default())
+	if lat := tb.Translate(0x1234); lat != 20 {
+		t.Fatalf("cold translate lat = %d, want 20", lat)
+	}
+	if lat := tb.Translate(0x1FFF); lat != 0 {
+		t.Fatalf("same-page translate lat = %d, want 0", lat)
+	}
+	if lat := tb.Translate(0x2000); lat != 20 {
+		t.Fatalf("next-page translate lat = %d, want 20", lat)
+	}
+	if tb.Stats.Accesses != 3 || tb.Stats.Misses != 2 {
+		t.Fatalf("stats = %+v", tb.Stats)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	cfg := Config{Entries: 4, Assoc: 4, PageBits: 12, WalkLat: 10}
+	tb := New(cfg)
+	// Fill 4 pages, then a 5th evicts the LRU (page 0).
+	for p := uint64(0); p < 5; p++ {
+		tb.Translate(p << 12)
+	}
+	if lat := tb.Translate(0); lat != 10 {
+		t.Fatal("page 0 should have been evicted")
+	}
+	if lat := tb.Translate(4 << 12); lat != 0 {
+		t.Fatal("page 4 should still be resident")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	tb := New(Default())
+	tb.Translate(0)
+	tb.Translate(0)
+	if got := tb.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", got)
+	}
+	if New(Default()).MissRate() != 0 {
+		t.Error("empty TLB miss rate should be 0")
+	}
+}
+
+// Property: translating the same page twice in a row is always a hit the
+// second time.
+func TestQuickRepeatHit(t *testing.T) {
+	tb := New(Default())
+	f := func(addr uint64) bool {
+		tb.Translate(addr)
+		return tb.Translate(addr) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,5 @@
+package trace
+
+import "unsafe"
+
+func sizeofInstr(in Instr) uintptr { return unsafe.Sizeof(in) }

@@ -1,0 +1,352 @@
+// Package trace defines the instruction stream that connects workload
+// generators to the timing simulator.
+//
+// Workloads execute functionally (on real arrays in a memspace.Space) and
+// emit one Instr per dynamic instruction. The generator runs in its own
+// goroutine, bounded ahead of the simulator by an epoch throttle, so memory
+// stays proportional to one synchronization epoch rather than the whole
+// trace.
+package trace
+
+import "sync"
+
+// Kind classifies a dynamic instruction.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	// Int is a single-cycle integer ALU operation.
+	Int Kind = iota
+	// FP is a multi-cycle floating-point operation.
+	FP
+	// Load is a data load; Addr is the virtual byte address.
+	Load
+	// Store is a data store; Addr is the virtual byte address.
+	Store
+	// Atomic is a read-modify-write (e.g. compare-and-swap).
+	Atomic
+	// Branch is a conditional branch; TakenFlag records its outcome.
+	Branch
+	// SoftPrefetch is a software prefetch instruction (non-faulting).
+	SoftPrefetch
+	// Barrier is a synchronization point across all cores.
+	Barrier
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case FP:
+		return "fp"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Atomic:
+		return "atomic"
+	case Branch:
+		return "branch"
+	case SoftPrefetch:
+		return "softpf"
+	case Barrier:
+		return "barrier"
+	}
+	return "?"
+}
+
+// Instr flag bits.
+const (
+	// TakenFlag marks a taken branch.
+	TakenFlag uint8 = 1 << iota
+	// LoadDepFlag marks a branch whose condition depends on a recent load
+	// (the data-dependent branches of Section II).
+	LoadDepFlag
+)
+
+// Instr is one dynamic instruction. It is kept to 16 bytes so that large
+// epochs stay cheap to buffer.
+type Instr struct {
+	// Addr is the virtual byte address for memory kinds, 0 otherwise.
+	Addr uint64
+	// PC identifies the static instruction site (used by the branch
+	// predictor and PC-indexed prefetchers).
+	PC uint32
+	// Kind is the instruction class.
+	Kind Kind
+	// Flags holds TakenFlag / LoadDepFlag bits.
+	Flags uint8
+	_     [2]byte
+}
+
+// Taken reports whether a branch instruction was taken.
+func (in Instr) Taken() bool { return in.Flags&TakenFlag != 0 }
+
+// LoadDep reports whether a branch depends on a recent load.
+func (in Instr) LoadDep() bool { return in.Flags&LoadDepFlag != 0 }
+
+// chunkSize is the number of instructions flushed to a stream at once.
+const chunkSize = 4096
+
+// Stream is a single core's instruction queue: a producer appends chunks,
+// one consumer pops them.
+type Stream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	chunks [][]Instr
+	closed bool
+}
+
+func newStream() *Stream {
+	s := &Stream{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *Stream) push(c []Instr) {
+	s.mu.Lock()
+	s.chunks = append(s.chunks, c)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+func (s *Stream) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// pop blocks until a chunk is available or the stream is closed and empty.
+func (s *Stream) pop() ([]Instr, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.chunks) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.chunks) == 0 {
+		return nil, false
+	}
+	c := s.chunks[0]
+	s.chunks[0] = nil
+	s.chunks = s.chunks[1:]
+	return c, true
+}
+
+// Reader is the simulator-side cursor over one core's stream.
+type Reader struct {
+	s    *Stream
+	cur  []Instr
+	pos  int
+	gen  *Gen
+	done bool
+}
+
+// Next returns the next instruction, or ok=false when the stream is
+// exhausted. It blocks while the generator is producing the next epoch.
+func (r *Reader) Next() (Instr, bool) {
+	for r.pos >= len(r.cur) {
+		if r.done {
+			return Instr{}, false
+		}
+		r.gen.release(len(r.cur))
+		c, ok := r.s.pop()
+		if !ok {
+			r.done = true
+			r.cur = nil
+			r.pos = 0
+			return Instr{}, false
+		}
+		r.cur = c
+		r.pos = 0
+	}
+	in := r.cur[r.pos]
+	r.pos++
+	return in, true
+}
+
+// Gen produces per-core instruction streams. All emit methods must be
+// called from a single producer goroutine.
+type Gen struct {
+	streams []*Stream
+	readers []*Reader
+	bufs    [][]Instr
+
+	// throttle state
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buffered int // instructions flushed but not yet consumed
+	max      int
+}
+
+// NewGen creates a generator for ncores cores, allowing at most maxBuffered
+// instructions to be in flight between producer and consumer (checked at
+// barriers). maxBuffered <= 0 disables throttling.
+func NewGen(ncores, maxBuffered int) *Gen {
+	g := &Gen{
+		streams: make([]*Stream, ncores),
+		readers: make([]*Reader, ncores),
+		bufs:    make([][]Instr, ncores),
+		max:     maxBuffered,
+	}
+	g.cond = sync.NewCond(&g.mu)
+	for i := range g.streams {
+		g.streams[i] = newStream()
+		g.readers[i] = &Reader{s: g.streams[i], gen: g}
+	}
+	return g
+}
+
+// Cores returns the number of cores the generator feeds.
+func (g *Gen) Cores() int { return len(g.streams) }
+
+// Reader returns the consumer cursor for a core.
+func (g *Gen) Reader(core int) *Reader { return g.readers[core] }
+
+func (g *Gen) release(n int) {
+	if n == 0 || g.max <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.buffered -= n
+	g.mu.Unlock()
+	g.cond.Signal()
+}
+
+func (g *Gen) charge(n int) {
+	if g.max <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.buffered += n
+	g.mu.Unlock()
+}
+
+// throttle blocks the producer until the consumer drains below the limit.
+func (g *Gen) throttle() {
+	if g.max <= 0 {
+		return
+	}
+	g.mu.Lock()
+	for g.buffered > g.max {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+func (g *Gen) emit(core int, in Instr) {
+	b := append(g.bufs[core], in)
+	if len(b) >= chunkSize {
+		g.streams[core].push(b)
+		g.charge(len(b))
+		b = nil
+	}
+	g.bufs[core] = b
+}
+
+func (g *Gen) flush(core int) {
+	if len(g.bufs[core]) > 0 {
+		g.streams[core].push(g.bufs[core])
+		g.charge(len(g.bufs[core]))
+		g.bufs[core] = nil
+	}
+}
+
+// Load emits a load of the element at addr.
+func (g *Gen) Load(core int, pc uint32, addr uint64) {
+	g.emit(core, Instr{Kind: Load, PC: pc, Addr: addr})
+}
+
+// Store emits a store to addr.
+func (g *Gen) Store(core int, pc uint32, addr uint64) {
+	g.emit(core, Instr{Kind: Store, PC: pc, Addr: addr})
+}
+
+// Atomic emits a read-modify-write to addr.
+func (g *Gen) Atomic(core int, pc uint32, addr uint64) {
+	g.emit(core, Instr{Kind: Atomic, PC: pc, Addr: addr})
+}
+
+// Branch emits a conditional branch with its outcome.
+func (g *Gen) Branch(core int, pc uint32, taken, loadDep bool) {
+	var f uint8
+	if taken {
+		f |= TakenFlag
+	}
+	if loadDep {
+		f |= LoadDepFlag
+	}
+	g.emit(core, Instr{Kind: Branch, PC: pc, Flags: f})
+}
+
+// Ops emits n single-cycle integer ALU operations.
+func (g *Gen) Ops(core int, pc uint32, n int) {
+	for i := 0; i < n; i++ {
+		g.emit(core, Instr{Kind: Int, PC: pc})
+	}
+}
+
+// FOps emits n floating-point operations.
+func (g *Gen) FOps(core int, pc uint32, n int) {
+	for i := 0; i < n; i++ {
+		g.emit(core, Instr{Kind: FP, PC: pc})
+	}
+}
+
+// SoftPrefetch emits a software prefetch of addr.
+func (g *Gen) SoftPrefetch(core int, pc uint32, addr uint64) {
+	g.emit(core, Instr{Kind: SoftPrefetch, PC: pc, Addr: addr})
+}
+
+// Barrier emits a barrier to every core, flushes all buffers, and applies
+// the epoch throttle: the producer blocks here until the consumer has
+// drained below the buffering limit.
+func (g *Gen) Barrier() {
+	for c := range g.streams {
+		g.emit(c, Instr{Kind: Barrier})
+		g.flush(c)
+	}
+	g.throttle()
+}
+
+// Close flushes remaining buffers and closes all streams. The producer must
+// not emit after Close.
+func (g *Gen) Close() {
+	for c := range g.streams {
+		g.flush(c)
+		g.streams[c].close()
+	}
+}
+
+// Run starts fn in a producer goroutine and closes the generator when it
+// returns. The returned function waits for the producer to finish (used by
+// tests; the simulator instead drains readers to completion).
+func (g *Gen) Run(fn func(*Gen)) (wait func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer g.Close()
+		fn(g)
+	}()
+	return func() { <-done }
+}
+
+// Collect runs fn synchronously with throttling disabled and returns every
+// core's full instruction sequence. Intended for tests and trace dumping.
+func Collect(ncores int, fn func(*Gen)) [][]Instr {
+	g := NewGen(ncores, 0)
+	fn(g)
+	g.Close()
+	out := make([][]Instr, ncores)
+	for c := 0; c < ncores; c++ {
+		r := g.Reader(c)
+		for {
+			in, ok := r.Next()
+			if !ok {
+				break
+			}
+			out[c] = append(out[c], in)
+		}
+	}
+	return out
+}

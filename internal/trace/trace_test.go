@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInstrSize(t *testing.T) {
+	// The encoding is deliberately compact; regressions here blow up epoch
+	// buffering memory.
+	var in Instr
+	if sz := int(unsafeSizeof(in)); sz != 16 {
+		t.Fatalf("Instr size = %d bytes, want 16", sz)
+	}
+}
+
+// unsafeSizeof avoids importing unsafe in more than one place.
+func unsafeSizeof(in Instr) uintptr { return sizeofInstr(in) }
+
+func TestEmitAndCollect(t *testing.T) {
+	out := Collect(2, func(g *Gen) {
+		g.Load(0, 1, 0x100)
+		g.Store(1, 2, 0x200)
+		g.Branch(0, 3, true, true)
+		g.Ops(1, 4, 3)
+		g.Barrier()
+		g.Atomic(0, 5, 0x300)
+	})
+	if len(out[0]) != 4 { // load, branch, barrier, atomic
+		t.Fatalf("core0 len = %d, want 4", len(out[0]))
+	}
+	if len(out[1]) != 5 { // store, 3 ops, barrier
+		t.Fatalf("core1 len = %d, want 5", len(out[1]))
+	}
+	if out[0][0].Kind != Load || out[0][0].Addr != 0x100 {
+		t.Errorf("core0[0] = %+v", out[0][0])
+	}
+	if !out[0][1].Taken() || !out[0][1].LoadDep() {
+		t.Errorf("branch flags = %+v", out[0][1])
+	}
+	if out[0][2].Kind != Barrier || out[1][4].Kind != Barrier {
+		t.Error("barriers missing")
+	}
+	if out[0][3].Kind != Atomic {
+		t.Errorf("core0[3] = %+v", out[0][3])
+	}
+}
+
+func TestConcurrentProducerConsumer(t *testing.T) {
+	const n = 100000
+	g := NewGen(1, 8192)
+	wait := g.Run(func(g *Gen) {
+		for i := 0; i < n; i++ {
+			g.Load(0, 1, uint64(i))
+			if i%1000 == 999 {
+				g.Barrier()
+			}
+		}
+	})
+	r := g.Reader(0)
+	var loads, barriers int
+	prev := int64(-1)
+	for {
+		in, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch in.Kind {
+		case Load:
+			if int64(in.Addr) != prev+1 {
+				t.Fatalf("out of order: got %d after %d", in.Addr, prev)
+			}
+			prev = int64(in.Addr)
+			loads++
+		case Barrier:
+			barriers++
+		}
+	}
+	wait()
+	if loads != n {
+		t.Fatalf("loads = %d, want %d", loads, n)
+	}
+	if barriers != n/1000 {
+		t.Fatalf("barriers = %d, want %d", barriers, n/1000)
+	}
+}
+
+func TestThrottleBoundsBuffering(t *testing.T) {
+	// With a tiny limit the producer must block at barriers; peak buffered
+	// instructions must stay near one epoch.
+	g := NewGen(1, 100)
+	started := make(chan struct{})
+	var mu sync.Mutex
+	peak := 0
+	wait := g.Run(func(g *Gen) {
+		close(started)
+		for e := 0; e < 50; e++ {
+			for i := 0; i < 50; i++ {
+				g.Load(0, 1, uint64(i))
+			}
+			g.Barrier()
+			g.mu.Lock()
+			if g.buffered > peak {
+				mu.Lock()
+				peak = g.buffered
+				mu.Unlock()
+			}
+			g.mu.Unlock()
+		}
+	})
+	<-started
+	r := g.Reader(0)
+	count := 0
+	for {
+		_, ok := r.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	wait()
+	if count != 50*51 { // 50 loads + 1 barrier per epoch
+		t.Fatalf("count = %d", count)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// One epoch is 51 instructions; allow the in-flight epoch plus limit.
+	if peak > 100+51 {
+		t.Fatalf("peak buffered = %d, want <= 151", peak)
+	}
+}
+
+func TestReaderExhaustedStaysExhausted(t *testing.T) {
+	g := NewGen(1, 0)
+	g.Load(0, 1, 1)
+	g.Close()
+	r := g.Reader(0)
+	if _, ok := r.Next(); !ok {
+		t.Fatal("expected one instruction")
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := r.Next(); ok {
+			t.Fatal("reader should stay exhausted")
+		}
+	}
+}
+
+// Property: Collect preserves per-core emission order for arbitrary
+// interleavings of cores.
+func TestQuickOrderPreserved(t *testing.T) {
+	f := func(cores []uint8) bool {
+		const ncores = 3
+		out := Collect(ncores, func(g *Gen) {
+			for i, c := range cores {
+				g.Load(int(c)%ncores, 1, uint64(i))
+			}
+		})
+		// Addresses within each core must be strictly increasing.
+		for _, seq := range out {
+			prev := int64(-1)
+			for _, in := range seq {
+				if int64(in.Addr) <= prev {
+					return false
+				}
+				prev = int64(in.Addr)
+			}
+		}
+		total := 0
+		for _, seq := range out {
+			total += len(seq)
+		}
+		return total == len(cores)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{Int, FP, Load, Store, Atomic, Branch, SoftPrefetch, Barrier}
+	want := []string{"int", "fp", "load", "store", "atomic", "branch", "softpf", "barrier"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind %d = %q, want %q", i, k.String(), want[i])
+		}
+	}
+	if Kind(200).String() != "?" {
+		t.Error("unknown kind should be ?")
+	}
+}

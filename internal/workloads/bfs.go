@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"fmt"
+
+	"prodigy/internal/dig"
+	"prodigy/internal/graph"
+	"prodigy/internal/memspace"
+	"prodigy/internal/trace"
+)
+
+// PC site IDs for bfs (each static load/branch gets a stable ID so the
+// branch predictor and PC-indexed prefetchers behave sensibly).
+const (
+	bfsPCWorkQ uint32 = iota + 100
+	bfsPCOffLo
+	bfsPCOffHi
+	bfsPCEdge
+	bfsPCVisited
+	bfsPCBranch
+	bfsPCCAS
+	bfsPCEnq
+	bfsPCLoop
+)
+
+// buildBFS constructs top-down breadth-first search with a sliding work
+// queue over CSR (Fig. 3), the paper's running example. The DIG is the
+// Fig. 5(a) graph: workQ -w0-> offsetList -w1-> edgeList -w0-> visited,
+// with the trigger on workQ.
+func buildBFS(dataset string, cores int, opts Options) (*Workload, error) {
+	g, err := loadGraph(dataset, "undir", opts)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes
+	src := g.MaxDegreeVertex()
+
+	sp := memspace.New()
+	workQ := sp.AllocU32("workQueue", n)
+	offsets, edges := allocCSR(sp, g)
+	// visited stores depth+1 (0 = unvisited), doubling as the parent-style
+	// payload GAP keeps per vertex.
+	visited := sp.AllocU32("visited", n)
+
+	b := dig.NewBuilder()
+	b.RegisterNode("workQueue", workQ.BaseAddr, uint64(n), 4, 0)
+	b.RegisterNode("offsetList", offsets.BaseAddr, uint64(n+1), 4, 1)
+	b.RegisterNode("edgeList", edges.BaseAddr, uint64(g.NumEdges()), 4, 2)
+	b.RegisterNode("visited", visited.BaseAddr, uint64(n), 4, 3)
+	b.RegisterTravEdge(workQ.BaseAddr, offsets.BaseAddr, dig.SingleValued)
+	b.RegisterTravEdge(offsets.BaseAddr, edges.BaseAddr, dig.Ranged)
+	b.RegisterTravEdge(edges.BaseAddr, visited.BaseAddr, dig.SingleValued)
+	b.RegisterTrigEdge(workQ.BaseAddr, dig.TriggerConfig{})
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(tg *trace.Gen) {
+		// Reset state so the workload is re-runnable.
+		for i := range visited.Data {
+			visited.Data[i] = 0
+		}
+		workQ.Data[0] = src
+		visited.Data[src] = 1
+		qStart, qEnd := 0, 1
+
+		for qStart < qEnd {
+			newEnd := qEnd
+			span := qEnd - qStart
+			bounds := balancedBounds(span, cores, func(i int) int {
+				u := workQ.Data[qStart+i]
+				return int(offsets.Data[u+1]-offsets.Data[u]) + 1
+			})
+			for c := 0; c < cores; c++ {
+				lo, hi := bounds[c], bounds[c+1]
+				for i := qStart + lo; i < qStart+hi; i++ {
+					tg.Load(c, bfsPCWorkQ, workQ.Addr(i))
+					u := workQ.Data[i]
+					tg.Load(c, bfsPCOffLo, offsets.Addr(int(u)))
+					tg.Load(c, bfsPCOffHi, offsets.Addr(int(u)+1))
+					eLo, eHi := offsets.Data[u], offsets.Data[u+1]
+					for w := eLo; w < eHi; w++ {
+						tg.Load(c, bfsPCEdge, edges.Addr(int(w)))
+						v := edges.Data[w]
+						tg.Load(c, bfsPCVisited, visited.Addr(int(v)))
+						vis := visited.Data[v]
+						tg.Branch(c, bfsPCBranch, vis != 0, true)
+						if vis == 0 {
+							// compare_and_swap(visited[v], 0, depth).
+							tg.Atomic(c, bfsPCCAS, visited.Addr(int(v)))
+							visited.Data[v] = visited.Data[u] + 1
+							tg.Store(c, bfsPCEnq, workQ.Addr(newEnd))
+							workQ.Data[newEnd] = v
+							newEnd++
+						}
+						tg.Ops(c, bfsPCLoop, 1)
+					}
+				}
+			}
+			qStart, qEnd = qEnd, newEnd
+			tg.Barrier()
+		}
+	}
+
+	verify := func() error {
+		ref := refBFSDepths(g, src)
+		for v := 0; v < n; v++ {
+			want := uint32(0)
+			if ref[v] >= 0 {
+				want = uint32(ref[v]) + 1
+			}
+			if visited.Data[v] != want {
+				return fmt.Errorf("bfs: vertex %d depth+1 = %d, want %d", v, visited.Data[v], want)
+			}
+		}
+		return nil
+	}
+
+	return &Workload{
+		Name: "bfs", Dataset: dataset, Space: sp, DIG: d, Cores: cores,
+		Run: run, Verify: verify,
+	}, nil
+}
+
+// refBFSDepths is an independent reference BFS returning per-vertex depth
+// (-1 = unreachable).
+func refBFSDepths(g *graph.Graph, src uint32) []int {
+	depth := make([]int, g.NumNodes)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []uint32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if depth[v] < 0 {
+				depth[v] = depth[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return depth
+}

@@ -1,0 +1,186 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"prodigy/internal/dig"
+	"prodigy/internal/graph"
+	"prodigy/internal/memspace"
+	"prodigy/internal/trace"
+)
+
+// PC site IDs for cg.
+const (
+	cgPCOffLo uint32 = iota + 800
+	cgPCOffHi
+	cgPCCol
+	cgPCVal
+	cgPCP
+	cgPCAcc
+	cgPCQ
+	cgPCVec1
+	cgPCVec2
+	cgPCVec3
+)
+
+// cgSize returns (rows, nnz/row, iterations) for the scale.
+func cgSize(s graph.Scale) (int, int, int) {
+	if s == graph.ScaleTiny {
+		return 1024, 8, 3
+	}
+	return 16384, 12, 4
+}
+
+// buildCG constructs NAS CG: conjugate-gradient iterations on a random
+// sparse SPD matrix. Each iteration's q = A·p gather is the irregular
+// phase (random column indices, unlike the stencil-local spmv); the dot
+// products and AXPYs are streaming phases.
+//
+// DIG: rowOffsets -w1-> cols/vals, cols -w0-> p; trigger on rowOffsets
+// plus stream triggers on the q/r/x vectors the scalar phases walk.
+func buildCG(cores int, opts Options) (*Workload, error) {
+	n, nnzRow, iters := cgSize(opts.Scale)
+	m := genRandomSPD(n, nnzRow, 4242)
+
+	sp := memspace.New()
+	rowOff := sp.AllocU32("rowOffsets", n+1)
+	copy(rowOff.Data, m.rowOff)
+	cols := sp.AllocU32("cols", m.nnz())
+	copy(cols.Data, m.cols)
+	vals := sp.AllocF32("vals", m.nnz())
+	copy(vals.Data, m.vals)
+	xv := sp.AllocF32("x", n)
+	rv := sp.AllocF32("r", n)
+	pv := sp.AllocF32("p", n)
+	qv := sp.AllocF32("q", n)
+
+	b := dig.NewBuilder()
+	b.RegisterNode("rowOffsets", rowOff.BaseAddr, uint64(n+1), 4, 0)
+	b.RegisterNode("cols", cols.BaseAddr, uint64(m.nnz()), 4, 1)
+	b.RegisterNode("vals", vals.BaseAddr, uint64(m.nnz()), 4, 2)
+	b.RegisterNode("p", pv.BaseAddr, uint64(n), 4, 3)
+	b.RegisterNode("q", qv.BaseAddr, uint64(n), 4, 4)
+	b.RegisterNode("r", rv.BaseAddr, uint64(n), 4, 5)
+	b.RegisterNode("x", xv.BaseAddr, uint64(n), 4, 6)
+	b.RegisterTravEdge(rowOff.BaseAddr, cols.BaseAddr, dig.Ranged)
+	b.RegisterTravEdge(rowOff.BaseAddr, vals.BaseAddr, dig.Ranged)
+	b.RegisterTravEdge(cols.BaseAddr, pv.BaseAddr, dig.SingleValued)
+	b.RegisterTrigEdge(rowOff.BaseAddr, dig.TriggerConfig{})
+	// The dot-product and AXPY phases stream q, r, and x linearly.
+	b.RegisterTrigEdge(qv.BaseAddr, dig.TriggerConfig{})
+	b.RegisterTrigEdge(rv.BaseAddr, dig.TriggerConfig{})
+	b.RegisterTrigEdge(xv.BaseAddr, dig.TriggerConfig{})
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	rowBounds := degreeBounds(rowOff.Data, n, cores)
+
+	var initialRes, finalRes float64
+
+	run := func(tg *trace.Gen) {
+		// b = 1 everywhere; x = 0; r = p = b.
+		for i := 0; i < n; i++ {
+			xv.Data[i] = 0
+			rv.Data[i] = 1
+			pv.Data[i] = 1
+		}
+		rr := float64(n)
+		initialRes = rr
+		for it := 0; it < iters; it++ {
+			// q = A·p (irregular gather), balanced by row nnz.
+			for c := 0; c < cores; c++ {
+				lo, hi := rowBounds[c], rowBounds[c+1]
+				for row := lo; row < hi; row++ {
+					tg.Load(c, cgPCOffLo, rowOff.Addr(row))
+					tg.Load(c, cgPCOffHi, rowOff.Addr(row+1))
+					kLo, kHi := rowOff.Data[row], rowOff.Data[row+1]
+					var sum float32
+					for k := kLo; k < kHi; k++ {
+						tg.Load(c, cgPCCol, cols.Addr(int(k)))
+						col := cols.Data[k]
+						tg.Load(c, cgPCVal, vals.Addr(int(k)))
+						tg.Load(c, cgPCP, pv.Addr(int(col)))
+						sum += vals.Data[k] * pv.Data[col]
+						tg.FOps(c, cgPCAcc, 2)
+					}
+					qv.Data[row] = sum
+					tg.Store(c, cgPCQ, qv.Addr(row))
+				}
+			}
+			tg.Barrier()
+			// alpha = rr / (p·q); streaming reduction.
+			var pq float64
+			for c := 0; c < cores; c++ {
+				lo, hi := chunk(n, cores, c)
+				for i := lo; i < hi; i++ {
+					tg.Load(c, cgPCVec1, pv.Addr(i))
+					tg.Load(c, cgPCVec1, qv.Addr(i))
+					tg.FOps(c, cgPCVec1, 2)
+					pq += float64(pv.Data[i]) * float64(qv.Data[i])
+				}
+			}
+			tg.Barrier()
+			alpha := rr / pq
+			// x += alpha p; r -= alpha q; streaming.
+			var rrNew float64
+			for c := 0; c < cores; c++ {
+				lo, hi := chunk(n, cores, c)
+				for i := lo; i < hi; i++ {
+					tg.Load(c, cgPCVec2, xv.Addr(i))
+					tg.Load(c, cgPCVec2, pv.Addr(i))
+					xv.Data[i] += float32(alpha) * pv.Data[i]
+					tg.Store(c, cgPCVec2, xv.Addr(i))
+					tg.Load(c, cgPCVec2, rv.Addr(i))
+					tg.Load(c, cgPCVec2, qv.Addr(i))
+					rv.Data[i] -= float32(alpha) * qv.Data[i]
+					tg.Store(c, cgPCVec2, rv.Addr(i))
+					tg.FOps(c, cgPCVec2, 4)
+					rrNew += float64(rv.Data[i]) * float64(rv.Data[i])
+				}
+			}
+			tg.Barrier()
+			beta := rrNew / rr
+			rr = rrNew
+			// p = r + beta p; streaming.
+			for c := 0; c < cores; c++ {
+				lo, hi := chunk(n, cores, c)
+				for i := lo; i < hi; i++ {
+					tg.Load(c, cgPCVec3, rv.Addr(i))
+					tg.Load(c, cgPCVec3, pv.Addr(i))
+					pv.Data[i] = rv.Data[i] + float32(beta)*pv.Data[i]
+					tg.Store(c, cgPCVec3, pv.Addr(i))
+					tg.FOps(c, cgPCVec3, 2)
+				}
+			}
+			tg.Barrier()
+		}
+		finalRes = rr
+	}
+
+	verify := func() error {
+		if finalRes >= initialRes {
+			return fmt.Errorf("cg: residual did not decrease: %g -> %g", initialRes, finalRes)
+		}
+		// r must actually equal b - A·x (within float32 tolerance).
+		ax := refSpMV(m, xv.Data)
+		var maxErr float64
+		for i := 0; i < n; i++ {
+			want := 1 - ax[i]
+			if e := math.Abs(float64(rv.Data[i]) - want); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > 1e-2 {
+			return fmt.Errorf("cg: residual vector drifted from b-Ax by %g", maxErr)
+		}
+		return nil
+	}
+
+	return &Workload{
+		Name: "cg", Space: sp, DIG: d, Cores: cores,
+		Run: run, Verify: verify,
+	}, nil
+}

@@ -1,0 +1,131 @@
+package workloads
+
+import (
+	"fmt"
+
+	"prodigy/internal/dig"
+	"prodigy/internal/graph"
+	"prodigy/internal/memspace"
+	"prodigy/internal/trace"
+)
+
+// PC site IDs for is.
+const (
+	isPCKey uint32 = iota + 900
+	isPCDen
+	isPCDenSt
+	isPCPrefix
+	isPCRankLd
+	isPCRankSt
+)
+
+// isSize returns (keys, key range) for the scale.
+func isSize(s graph.Scale) (int, int) {
+	if s == graph.ScaleTiny {
+		return 4096, 512
+	}
+	return 1 << 18, 1 << 14
+}
+
+// buildIS constructs NAS IS (integer sort by key ranking): a counting pass
+// that scatters increments into the key-density array (the single-valued
+// indirection keys -w0-> keyDen), a prefix-sum pass, and a ranking pass
+// that gathers each key's running rank.
+//
+// DIG: keys -w0-> keyDen, trigger on keys (the sequentially streamed
+// structure); rank registered as a leaf.
+func buildIS(cores int, opts Options) (*Workload, error) {
+	nKeys, keyRange := isSize(opts.Scale)
+
+	sp := memspace.New()
+	keys := sp.AllocU32("keys", nKeys)
+	keyDen := sp.AllocU32("keyDen", keyRange)
+	rank := sp.AllocU32("rank", nKeys)
+	r := graph.NewRand(777)
+	for i := range keys.Data {
+		// NAS IS uses a Gaussian-ish key distribution (sum of uniforms).
+		k := (r.Intn(keyRange) + r.Intn(keyRange) + r.Intn(keyRange) + r.Intn(keyRange)) / 4
+		keys.Data[i] = uint32(k)
+	}
+
+	b := dig.NewBuilder()
+	b.RegisterNode("keys", keys.BaseAddr, uint64(nKeys), 4, 0)
+	b.RegisterNode("keyDen", keyDen.BaseAddr, uint64(keyRange), 4, 1)
+	b.RegisterNode("rank", rank.BaseAddr, uint64(nKeys), 4, 2)
+	b.RegisterTravEdge(keys.BaseAddr, keyDen.BaseAddr, dig.SingleValued)
+	b.RegisterTrigEdge(keys.BaseAddr, dig.TriggerConfig{})
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(tg *trace.Gen) {
+		for i := range keyDen.Data {
+			keyDen.Data[i] = 0
+		}
+		// Phase 1: count key densities (scatter: irregular).
+		for c := 0; c < cores; c++ {
+			lo, hi := chunk(nKeys, cores, c)
+			for i := lo; i < hi; i++ {
+				tg.Load(c, isPCKey, keys.Addr(i))
+				k := keys.Data[i]
+				tg.Atomic(c, isPCDen, keyDen.Addr(int(k)))
+				keyDen.Data[k]++
+			}
+		}
+		tg.Barrier()
+		// Phase 2: exclusive prefix sum (streaming, single core as in the
+		// NAS reference's serial rank accumulation).
+		var acc uint32
+		for i := 0; i < keyRange; i++ {
+			tg.Load(0, isPCPrefix, keyDen.Addr(i))
+			cnt := keyDen.Data[i]
+			keyDen.Data[i] = acc
+			tg.Store(0, isPCPrefix, keyDen.Addr(i))
+			acc += cnt
+		}
+		tg.Barrier()
+		// Phase 3: ranking (gather + bump: irregular).
+		for c := 0; c < cores; c++ {
+			lo, hi := chunk(nKeys, cores, c)
+			for i := lo; i < hi; i++ {
+				tg.Load(c, isPCKey, keys.Addr(i))
+				k := keys.Data[i]
+				tg.Load(c, isPCRankLd, keyDen.Addr(int(k)))
+				tg.Atomic(c, isPCDen, keyDen.Addr(int(k)))
+				rank.Data[i] = keyDen.Data[k]
+				keyDen.Data[k]++
+				tg.Store(c, isPCRankSt, rank.Addr(i))
+			}
+		}
+		tg.Barrier()
+	}
+
+	verify := func() error {
+		// Ranks must be a permutation of [0, nKeys) ordered by key.
+		seen := make([]bool, nKeys)
+		for i := 0; i < nKeys; i++ {
+			rk := rank.Data[i]
+			if rk >= uint32(nKeys) || seen[rk] {
+				return fmt.Errorf("is: rank %d invalid or duplicated", rk)
+			}
+			seen[rk] = true
+		}
+		// Sorting by rank must order keys non-decreasingly.
+		sorted := make([]uint32, nKeys)
+		for i := 0; i < nKeys; i++ {
+			sorted[rank.Data[i]] = keys.Data[i]
+		}
+		for i := 1; i < nKeys; i++ {
+			if sorted[i] < sorted[i-1] {
+				return fmt.Errorf("is: keys not sorted at rank %d", i)
+			}
+		}
+		return nil
+	}
+
+	return &Workload{
+		Name: "is", Space: sp, DIG: d, Cores: cores,
+		Run: run, Verify: verify,
+	}, nil
+}

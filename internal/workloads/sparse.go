@@ -1,0 +1,121 @@
+package workloads
+
+import "prodigy/internal/graph"
+
+// sparseMatrix is a CSR float matrix shared by the HPCG/NAS kernels.
+type sparseMatrix struct {
+	n      int
+	rowOff []uint32
+	cols   []uint32
+	vals   []float32
+}
+
+func (m *sparseMatrix) nnz() int { return len(m.cols) }
+
+// gen27Point builds the HPCG problem: a 27-point stencil on an
+// nx×ny×nz grid with diagonal 26 and off-diagonals -1 (symmetric positive
+// definite).
+func gen27Point(nx, ny, nz int) *sparseMatrix {
+	n := nx * ny * nz
+	m := &sparseMatrix{n: n, rowOff: make([]uint32, n+1)}
+	idx := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				row := idx(x, y, z)
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							cx, cy, cz := x+dx, y+dy, z+dz
+							if cx < 0 || cx >= nx || cy < 0 || cy >= ny || cz < 0 || cz >= nz {
+								continue
+							}
+							col := idx(cx, cy, cz)
+							m.cols = append(m.cols, uint32(col))
+							if col == row {
+								m.vals = append(m.vals, 26)
+							} else {
+								m.vals = append(m.vals, -1)
+							}
+						}
+					}
+				}
+				m.rowOff[row+1] = uint32(len(m.cols))
+			}
+		}
+	}
+	return m
+}
+
+// genRandomSPD builds the NAS CG-style matrix: a sparse, diagonally
+// dominant symmetric matrix with nnzPerRow random off-diagonal entries per
+// row (the access-pattern equivalent of NAS makea: random column indices,
+// so SpMV gathers are irregular rather than stencil-local).
+func genRandomSPD(n, nnzPerRow int, seed uint64) *sparseMatrix {
+	r := graph.NewRand(seed)
+	// Collect symmetric entries (i, j, v) with i != j.
+	type entry struct {
+		j uint32
+		v float32
+	}
+	rows := make([]map[uint32]float32, n)
+	for i := range rows {
+		rows[i] = map[uint32]float32{}
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < nnzPerRow/2; k++ {
+			j := uint32(r.Intn(n))
+			if int(j) == i {
+				continue
+			}
+			v := float32(r.Float64()*0.5 + 0.1)
+			rows[i][j] = v
+			rows[int(j)][uint32(i)] = v
+		}
+	}
+	m := &sparseMatrix{n: n, rowOff: make([]uint32, n+1)}
+	for i := 0; i < n; i++ {
+		// Diagonal dominance keeps CG convergent.
+		var sum float32
+		var es []entry
+		for j, v := range rows[i] {
+			es = append(es, entry{j, v})
+			sum += v
+		}
+		// Deterministic order: insertion order of maps is random, so sort.
+		for a := 1; a < len(es); a++ {
+			for b := a; b > 0 && es[b-1].j > es[b].j; b-- {
+				es[b-1], es[b] = es[b], es[b-1]
+			}
+		}
+		placedDiag := false
+		for _, e := range es {
+			if !placedDiag && e.j > uint32(i) {
+				m.cols = append(m.cols, uint32(i))
+				m.vals = append(m.vals, sum+1)
+				placedDiag = true
+			}
+			m.cols = append(m.cols, e.j)
+			m.vals = append(m.vals, -e.v)
+		}
+		if !placedDiag {
+			m.cols = append(m.cols, uint32(i))
+			m.vals = append(m.vals, sum+1)
+		}
+		m.rowOff[i+1] = uint32(len(m.cols))
+	}
+	return m
+}
+
+// refSpMV computes y = A·x in float64 for verification.
+func refSpMV(m *sparseMatrix, x []float32) []float64 {
+	y := make([]float64, m.n)
+	for i := 0; i < m.n; i++ {
+		var sum float64
+		for k := m.rowOff[i]; k < m.rowOff[i+1]; k++ {
+			sum += float64(m.vals[k]) * float64(x[m.cols[k]])
+		}
+		y[i] = sum
+	}
+	return y
+}

@@ -1,0 +1,112 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"prodigy/internal/dig"
+	"prodigy/internal/graph"
+	"prodigy/internal/memspace"
+	"prodigy/internal/trace"
+)
+
+// PC site IDs for spmv.
+const (
+	spmvPCOffLo uint32 = iota + 600
+	spmvPCOffHi
+	spmvPCCol
+	spmvPCVal
+	spmvPCX
+	spmvPCAcc
+	spmvPCY
+)
+
+// spmvGrid returns the stencil grid edge for the scale.
+func spmvGrid(s graph.Scale) int {
+	if s == graph.ScaleTiny {
+		return 8
+	}
+	return 24
+}
+
+// buildSpMV constructs HPCG's sparse matrix-vector multiply y = A·x over
+// the 27-point stencil problem.
+//
+// DIG: rowOffsets -w1-> cols, rowOffsets -w1-> vals (parallel arrays),
+// cols -w0-> x; trigger on rowOffsets; y registered as a leaf.
+func buildSpMV(cores int, opts Options) (*Workload, error) {
+	e := spmvGrid(opts.Scale)
+	m := gen27Point(e, e, e)
+	return buildSpMVFrom(m, "spmv", cores)
+}
+
+func buildSpMVFrom(m *sparseMatrix, name string, cores int) (*Workload, error) {
+	n := m.n
+	sp := memspace.New()
+	rowOff := sp.AllocU32("rowOffsets", n+1)
+	copy(rowOff.Data, m.rowOff)
+	cols := sp.AllocU32("cols", m.nnz())
+	copy(cols.Data, m.cols)
+	vals := sp.AllocF32("vals", m.nnz())
+	copy(vals.Data, m.vals)
+	x := sp.AllocF32("x", n)
+	y := sp.AllocF32("y", n)
+	for i := 0; i < n; i++ {
+		x.Data[i] = float32(i%13)/13 + 0.5
+	}
+
+	b := dig.NewBuilder()
+	b.RegisterNode("rowOffsets", rowOff.BaseAddr, uint64(n+1), 4, 0)
+	b.RegisterNode("cols", cols.BaseAddr, uint64(m.nnz()), 4, 1)
+	b.RegisterNode("vals", vals.BaseAddr, uint64(m.nnz()), 4, 2)
+	b.RegisterNode("x", x.BaseAddr, uint64(n), 4, 3)
+	b.RegisterNode("y", y.BaseAddr, uint64(n), 4, 4)
+	b.RegisterTravEdge(rowOff.BaseAddr, cols.BaseAddr, dig.Ranged)
+	b.RegisterTravEdge(rowOff.BaseAddr, vals.BaseAddr, dig.Ranged)
+	b.RegisterTravEdge(cols.BaseAddr, x.BaseAddr, dig.SingleValued)
+	b.RegisterTrigEdge(rowOff.BaseAddr, dig.TriggerConfig{})
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	rowBounds := degreeBounds(rowOff.Data, n, cores)
+
+	run := func(tg *trace.Gen) {
+		for c := 0; c < cores; c++ {
+			lo, hi := rowBounds[c], rowBounds[c+1]
+			for row := lo; row < hi; row++ {
+				tg.Load(c, spmvPCOffLo, rowOff.Addr(row))
+				tg.Load(c, spmvPCOffHi, rowOff.Addr(row+1))
+				kLo, kHi := rowOff.Data[row], rowOff.Data[row+1]
+				var sum float32
+				for k := kLo; k < kHi; k++ {
+					tg.Load(c, spmvPCCol, cols.Addr(int(k)))
+					col := cols.Data[k]
+					tg.Load(c, spmvPCVal, vals.Addr(int(k)))
+					tg.Load(c, spmvPCX, x.Addr(int(col)))
+					sum += vals.Data[k] * x.Data[col]
+					tg.FOps(c, spmvPCAcc, 2)
+				}
+				y.Data[row] = sum
+				tg.Store(c, spmvPCY, y.Addr(row))
+			}
+		}
+		tg.Barrier()
+	}
+
+	verify := func() error {
+		ref := refSpMV(m, x.Data)
+		for i := 0; i < n; i++ {
+			if math.Abs(float64(y.Data[i])-ref[i]) > 1e-2*(1+math.Abs(ref[i])) {
+				return fmt.Errorf("%s: y[%d] = %g, want %g", name, i, y.Data[i], ref[i])
+			}
+		}
+		return nil
+	}
+
+	return &Workload{
+		Name: name, Space: sp, DIG: d, Cores: cores,
+		Run: run, Verify: verify,
+	}, nil
+}

@@ -1,0 +1,168 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"prodigy/internal/dig"
+	"prodigy/internal/memspace"
+	"prodigy/internal/trace"
+)
+
+// PC site IDs for symgs.
+const (
+	symgsPCOffLo uint32 = iota + 700
+	symgsPCOffHi
+	symgsPCCol
+	symgsPCVal
+	symgsPCX
+	symgsPCAcc
+	symgsPCB
+	symgsPCXSt
+)
+
+// buildSymGS constructs HPCG's symmetric Gauss-Seidel smoother: a forward
+// sweep over rows followed by a backward sweep, each updating
+// x[i] = (b[i] - Σ_{j≠i} a_ij·x[j]) / a_ii.
+//
+// Rows are block-partitioned across cores (HPCG parallelizes the smoother
+// per block/color; within a block the sweep is sequential). The backward
+// sweep walks rowOffsets descending — the trigger direction Prodigy infers
+// at run time (Section IV-C1's traversal-direction parameter).
+//
+// DIG: same shape as spmv (rowOffsets -w1-> cols/vals, cols -w0-> x).
+func buildSymGS(cores int, opts Options) (*Workload, error) {
+	e := spmvGrid(opts.Scale)
+	m := gen27Point(e, e, e)
+	n := m.n
+
+	sp := memspace.New()
+	rowOff := sp.AllocU32("rowOffsets", n+1)
+	copy(rowOff.Data, m.rowOff)
+	cols := sp.AllocU32("cols", m.nnz())
+	copy(cols.Data, m.cols)
+	vals := sp.AllocF32("vals", m.nnz())
+	copy(vals.Data, m.vals)
+	x := sp.AllocF32("x", n)
+	bvec := sp.AllocF32("b", n)
+	for i := 0; i < n; i++ {
+		bvec.Data[i] = float32(i%7) - 3
+	}
+
+	bb := dig.NewBuilder()
+	bb.RegisterNode("rowOffsets", rowOff.BaseAddr, uint64(n+1), 4, 0)
+	bb.RegisterNode("cols", cols.BaseAddr, uint64(m.nnz()), 4, 1)
+	bb.RegisterNode("vals", vals.BaseAddr, uint64(m.nnz()), 4, 2)
+	bb.RegisterNode("x", x.BaseAddr, uint64(n), 4, 3)
+	bb.RegisterNode("b", bvec.BaseAddr, uint64(n), 4, 4)
+	bb.RegisterTravEdge(rowOff.BaseAddr, cols.BaseAddr, dig.Ranged)
+	bb.RegisterTravEdge(rowOff.BaseAddr, vals.BaseAddr, dig.Ranged)
+	bb.RegisterTravEdge(cols.BaseAddr, x.BaseAddr, dig.SingleValued)
+	bb.RegisterTrigEdge(rowOff.BaseAddr, dig.TriggerConfig{})
+	// b is streamed once per sweep row; a stream trigger covers it.
+	bb.RegisterTrigEdge(bvec.BaseAddr, dig.TriggerConfig{})
+	d, err := bb.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	sweepRow := func(tg *trace.Gen, c, row int) {
+		tg.Load(c, symgsPCOffLo, rowOff.Addr(row))
+		tg.Load(c, symgsPCOffHi, rowOff.Addr(row+1))
+		kLo, kHi := rowOff.Data[row], rowOff.Data[row+1]
+		tg.Load(c, symgsPCB, bvec.Addr(row))
+		sum := bvec.Data[row]
+		var diag float32 = 1
+		for k := kLo; k < kHi; k++ {
+			tg.Load(c, symgsPCCol, cols.Addr(int(k)))
+			col := cols.Data[k]
+			tg.Load(c, symgsPCVal, vals.Addr(int(k)))
+			if int(col) == row {
+				diag = vals.Data[k]
+				continue
+			}
+			tg.Load(c, symgsPCX, x.Addr(int(col)))
+			sum -= vals.Data[k] * x.Data[col]
+			tg.FOps(c, symgsPCAcc, 2)
+		}
+		x.Data[row] = sum / diag
+		tg.FOps(c, symgsPCXSt, 1)
+		tg.Store(c, symgsPCXSt, x.Addr(row))
+	}
+
+	rowBounds := degreeBounds(rowOff.Data, n, cores)
+
+	run := func(tg *trace.Gen) {
+		for i := range x.Data {
+			x.Data[i] = 0
+		}
+		// Forward sweep (ascending rows per core block).
+		for c := 0; c < cores; c++ {
+			lo, hi := rowBounds[c], rowBounds[c+1]
+			for row := lo; row < hi; row++ {
+				sweepRow(tg, c, row)
+			}
+		}
+		tg.Barrier()
+		// Backward sweep (descending rows per core block).
+		for c := 0; c < cores; c++ {
+			lo, hi := rowBounds[c], rowBounds[c+1]
+			for row := hi - 1; row >= lo; row-- {
+				sweepRow(tg, c, row)
+			}
+		}
+		tg.Barrier()
+	}
+
+	verify := func() error {
+		// Reference: replay the same block-parallel sweep order in float64.
+		ref := make([]float64, n)
+		sweep := func(row int) {
+			sum := float64(bvec.Data[row])
+			var diag float64 = 1
+			for k := m.rowOff[row]; k < m.rowOff[row+1]; k++ {
+				col := m.cols[k]
+				if int(col) == row {
+					diag = float64(m.vals[k])
+					continue
+				}
+				sum -= float64(m.vals[k]) * ref[col]
+			}
+			ref[row] = sum / diag
+		}
+		for c := 0; c < cores; c++ {
+			lo, hi := rowBounds[c], rowBounds[c+1]
+			for row := lo; row < hi; row++ {
+				sweep(row)
+			}
+		}
+		for c := 0; c < cores; c++ {
+			lo, hi := rowBounds[c], rowBounds[c+1]
+			for row := hi - 1; row >= lo; row-- {
+				sweep(row)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(float64(x.Data[i])-ref[i]) > 1e-3*(1+math.Abs(ref[i])) {
+				return fmt.Errorf("symgs: x[%d] = %g, want %g", i, x.Data[i], ref[i])
+			}
+		}
+		// The smoother must reduce the residual of A·x = b.
+		y := refSpMV(m, x.Data)
+		var res, rhs float64
+		for i := 0; i < n; i++ {
+			d := y[i] - float64(bvec.Data[i])
+			res += d * d
+			rhs += float64(bvec.Data[i]) * float64(bvec.Data[i])
+		}
+		if res > rhs {
+			return fmt.Errorf("symgs: residual grew: %g > %g", res, rhs)
+		}
+		return nil
+	}
+
+	return &Workload{
+		Name: "symgs", Space: sp, DIG: d, Cores: cores,
+		Run: run, Verify: verify,
+	}, nil
+}
