@@ -1,0 +1,30 @@
+# Tier-1 verification: everything CI (and a reviewer) needs to trust a
+# change. `make check` is the bar every commit must pass.
+
+GO ?= go
+
+.PHONY: check build vet test race bench tables
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment runner fans simulations across goroutines; run the whole
+# suite under the race detector so regressions in the concurrency story
+# (trace epoch handoff, dataset cache, run memoization) fail loudly.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every paper table/figure at paper scale (slow).
+tables:
+	$(GO) run ./cmd/prodigy-bench

@@ -20,6 +20,7 @@ package prodigy
 //	go run ./cmd/prodigy-bench -quick
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -34,10 +35,14 @@ var (
 	benchHarness *exp.Harness
 )
 
-// harness returns the shared paper-scale harness.
+// harness returns the shared paper-scale harness. Sweeps fan out across
+// all host cores; results are identical to a serial run (see
+// exp.TestParallelMatchesSerialGolden), only the wall time differs.
 func harness() *exp.Harness {
 	benchOnce.Do(func() {
-		benchHarness = exp.New(exp.Default())
+		cfg := exp.Default()
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+		benchHarness = exp.New(cfg)
 	})
 	return benchHarness
 }

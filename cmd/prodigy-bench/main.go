@@ -2,11 +2,17 @@
 //
 // Usage:
 //
-//	prodigy-bench [-quick] [-cores N] [-datasets po,lj] [exp ...]
+//	prodigy-bench [-quick] [-cores N] [-datasets po,lj] [-j N] [exp ...]
 //
 // With no experiment names, every experiment runs. Available experiments:
 // fig2 fig4 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 table3
 // ranged scalability ablations.
+//
+// Each experiment's simulation grid fans out across -j worker goroutines
+// (default GOMAXPROCS); tables are byte-identical at any -j. Progress is
+// reported to stderr every -progress interval, and -json writes one JSON
+// summary line per simulation for trend tracking. See the "Running
+// experiments in parallel" section of EXPERIMENTS.md.
 package main
 
 import (
@@ -26,6 +32,10 @@ func main() {
 	cores := flag.Int("cores", 0, "override core count (default 8, 2 in quick mode)")
 	datasets := flag.String("datasets", "", "comma-separated dataset subset (default all five)")
 	verify := flag.Bool("verify", false, "re-verify workload outputs after every run")
+	workers := flag.Int("j", 0, "concurrent simulations per sweep (0 = GOMAXPROCS, 1 = serial)")
+	progress := flag.Duration("progress", 5*time.Second, "progress report interval on stderr (0 disables)")
+	jsonPath := flag.String("json", "", "append per-run JSON summary lines to this file (\"-\" = stdout)")
+	timeout := flag.Duration("run-timeout", 0, "wall-clock budget per simulation (0 = no limit)")
 	flag.Parse()
 
 	cfg := exp.Default()
@@ -40,6 +50,25 @@ func main() {
 	}
 	if *verify {
 		cfg.Verify = true
+	}
+	cfg.Parallelism = *workers
+	cfg.RunTimeout = *timeout
+	if *progress > 0 {
+		cfg.Progress = os.Stderr
+		cfg.ProgressInterval = *progress
+	}
+	if *jsonPath != "" {
+		if *jsonPath == "-" {
+			cfg.JSONLog = os.Stdout
+		} else {
+			f, err := os.OpenFile(*jsonPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			cfg.JSONLog = f
+		}
 	}
 	h := exp.New(cfg)
 

@@ -1,15 +1,21 @@
-// Command prodigy-sim runs one workload on the simulated machine and
-// prints its CPI stack, cache behaviour, and prefetcher statistics.
+// Command prodigy-sim runs one or more workloads on the simulated machine
+// and prints CPI stacks, cache behaviour, and prefetcher statistics.
 //
 // Usage:
 //
 //	prodigy-sim -algo bfs -dataset lj -scheme prodigy [-cores 8] [-tiny]
+//
+// -algo, -dataset, and -scheme accept comma-separated lists; the resulting
+// grid runs on -j concurrent workers (default GOMAXPROCS) and reports in
+// deterministic grid order. -json appends one machine-readable summary
+// line per simulation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"prodigy/internal/core"
 	"prodigy/internal/cpu"
@@ -19,12 +25,14 @@ import (
 )
 
 func main() {
-	algo := flag.String("algo", "bfs", "algorithm: bc bfs cc pr sssp spmv symgs cg is")
-	dataset := flag.String("dataset", "lj", "graph dataset: po lj or sk wb (graph algorithms only)")
-	scheme := flag.String("scheme", "prodigy", "prefetcher: none stride ghb-gdc imp aj droplet software-pf prodigy")
+	algos := flag.String("algo", "bfs", "algorithm(s), comma-separated: bc bfs cc pr sssp spmv symgs cg is")
+	datasets := flag.String("dataset", "lj", "graph dataset(s), comma-separated: po lj or sk wb (graph algorithms only)")
+	schemes := flag.String("scheme", "prodigy", "prefetcher(s), comma-separated: none stride ghb-gdc imp aj droplet software-pf prodigy")
 	cores := flag.Int("cores", 8, "core count")
 	tiny := flag.Bool("tiny", false, "use tiny datasets (fast smoke run)")
 	verify := flag.Bool("verify", true, "verify the workload output")
+	workers := flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+	jsonPath := flag.String("json", "", "append per-run JSON summary lines to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	cfg := exp.Default()
@@ -36,17 +44,51 @@ func main() {
 		q.Verify = *verify
 		cfg = q
 	}
+	cfg.Parallelism = *workers
+	if *jsonPath != "" {
+		if *jsonPath == "-" {
+			cfg.JSONLog = os.Stdout
+		} else {
+			f, err := os.OpenFile(*jsonPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			cfg.JSONLog = f
+		}
+	}
 	h := exp.New(cfg)
 
-	ds := *dataset
-	if !workloads.IsGraphAlgo(*algo) {
-		ds = ""
+	// Build the requested grid; RunGrid fans it out across -j workers and
+	// returns results in grid order.
+	var cells []exp.Cell
+	for _, algo := range strings.Split(*algos, ",") {
+		dss := strings.Split(*datasets, ",")
+		if !workloads.IsGraphAlgo(algo) {
+			dss = []string{""}
+		}
+		for _, ds := range dss {
+			for _, s := range strings.Split(*schemes, ",") {
+				cells = append(cells, exp.Cell{Algo: algo, Dataset: ds, Scheme: exp.Scheme(s)})
+			}
+		}
 	}
-	run, err := h.RunOne(*algo, ds, exp.Scheme(*scheme))
+	runs, err := h.RunGrid(cells)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	for i, run := range runs {
+		if i > 0 {
+			fmt.Println(strings.Repeat("-", 64))
+		}
+		report(run, cfg)
+	}
+}
+
+// report prints the full human-readable statistics for one run.
+func report(run *exp.Run, cfg exp.Config) {
 
 	fmt.Printf("workload %s  scheme %s  cores %d\n", run.Label, run.Scheme, cfg.Cores)
 	fmt.Printf("cycles %d   retired %d   IPC %.3f\n\n", run.Res.Cycles, run.Res.Agg.Retired, run.Res.IPC())

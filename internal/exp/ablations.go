@@ -44,6 +44,16 @@ func (h *Harness) ablationWorkloads() []struct{ Algo, Dataset string } {
 }
 
 func (h *Harness) ablate(name string, variants []string, vs []runVariant) (*AblationResult, error) {
+	var jobs jobList
+	for _, v := range vs {
+		for _, cell := range h.ablationWorkloads() {
+			jobs.add(h, cell.Algo, cell.Dataset, SchemeNone, runVariant{})
+			jobs.add(h, cell.Algo, cell.Dataset, SchemeProdigy, v)
+		}
+	}
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	out := &AblationResult{Name: name, Variants: variants}
 	for _, v := range vs {
 		var sp []float64

@@ -9,7 +9,11 @@ package exp
 
 import (
 	"fmt"
+	"io"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"prodigy/internal/cache"
 	"prodigy/internal/core"
@@ -57,8 +61,34 @@ type Config struct {
 	// the caches along with the tiny datasets so the working-set-to-LLC
 	// ratio of DESIGN.md §2 is preserved at test scale).
 	CacheOverride *cache.Config
-	// MaxBuffered bounds generator look-ahead in instructions.
+	// MaxBuffered selects the trace generator's asynchronous mode when
+	// positive (any positive value behaves the same: the producer stays
+	// exactly one synchronization epoch ahead of the simulator). Kept for
+	// configuration compatibility; New defaults it to a positive value.
 	MaxBuffered int
+	// Parallelism bounds how many simulations a figure sweep runs
+	// concurrently. 0 means GOMAXPROCS; 1 restores fully serial execution.
+	// Results are memoized by grid key, never by completion order, so every
+	// figure table is byte-identical at any parallelism (see
+	// docs/ARCHITECTURE.md for why runs are independent).
+	Parallelism int
+	// MaxCycles bounds simulated cycles per run (sim.Config.MaxCycles);
+	// 0 keeps the simulator's large default.
+	MaxCycles int64
+	// RunTimeout aborts any single simulation exceeding this wall-clock
+	// budget, converting it into a tagged error exactly like the simulator's
+	// MaxCycles guard (the run's goroutine exits cooperatively). 0 disables.
+	RunTimeout time.Duration
+	// Progress, when non-nil, receives one-line sweep progress reports
+	// (runs completed/total, ETA, slowest run so far) every
+	// ProgressInterval, plus a final summary per sweep.
+	Progress io.Writer
+	// ProgressInterval is the progress reporting period (default 5s).
+	ProgressInterval time.Duration
+	// JSONLog, when non-nil, receives one JSON object per line for every
+	// simulation executed (cycles, CPI stack, wall time, ...) for
+	// machine-readable trend tracking. Cached replays are not re-emitted.
+	JSONLog io.Writer
 }
 
 // Default returns the paper configuration at benchmark scale.
@@ -94,6 +124,9 @@ type Run struct {
 	// MissesInDIG / MissesTotal classify LLC misses against the DIG
 	// ranges (Fig. 13/16).
 	MissesInDIG, MissesTotal uint64
+	// Wall is the host wall-clock time the simulation took (progress and
+	// JSON reporting; it has no bearing on simulated results).
+	Wall time.Duration
 }
 
 // Speedup of other relative to this run (this run as baseline).
@@ -117,9 +150,21 @@ func (r *Run) DRAMStallFrac() float64 {
 type Harness struct {
 	Cfg   Config
 	mu    sync.Mutex
-	cache map[string]*Run
+	cache map[string]*runEntry
+	// jsonMu serializes JSONLog writes from concurrent workers.
+	jsonMu sync.Mutex
 	// mshrOverride adjusts the per-core prefetch MSHR cap (tests).
 	mshrOverride int
+}
+
+// runEntry memoizes one grid cell. The per-entry Once gives run()
+// singleflight semantics: when parallel sweeps (or overlapping figures)
+// request the same cell concurrently, exactly one goroutine simulates it
+// and the rest block until the result is ready.
+type runEntry struct {
+	once sync.Once
+	run  *Run
+	err  error
 }
 
 // New builds a harness.
@@ -133,7 +178,10 @@ func New(cfg Config) *Harness {
 	if cfg.MaxBuffered == 0 {
 		cfg.MaxBuffered = 1 << 21
 	}
-	return &Harness{Cfg: cfg, cache: map[string]*Run{}}
+	if cfg.ProgressInterval <= 0 {
+		cfg.ProgressInterval = 5 * time.Second
+	}
+	return &Harness{Cfg: cfg, cache: map[string]*runEntry{}}
 }
 
 // runVariant captures non-default machine knobs for ablations.
@@ -157,15 +205,37 @@ func (h *Harness) key(algo, dataset string, scheme Scheme, v runVariant) string 
 	return fmt.Sprintf("%s|%s|%s|%+v", algo, dataset, scheme, v)
 }
 
+// run returns the memoized result for one grid cell, simulating it on
+// first request. It is safe for concurrent use: concurrent requests for
+// the same cell share a single simulation, and a panicking simulation is
+// converted into a tagged error instead of killing the sweep.
 func (h *Harness) run(algo, dataset string, scheme Scheme, v runVariant) (*Run, error) {
 	key := h.key(algo, dataset, scheme, v)
 	h.mu.Lock()
-	if r, ok := h.cache[key]; ok {
-		h.mu.Unlock()
-		return r, nil
+	e, ok := h.cache[key]
+	if !ok {
+		e = &runEntry{}
+		h.cache[key] = e
 	}
 	h.mu.Unlock()
 
+	e.once.Do(func() {
+		defer func() {
+			if p := recover(); p != nil {
+				e.run = nil
+				e.err = fmt.Errorf("exp: %s/%s/%s: panic: %v\n%s",
+					algo, dataset, scheme, p, debug.Stack())
+			}
+		}()
+		e.run, e.err = h.simulate(algo, dataset, scheme, v)
+	})
+	return e.run, e.err
+}
+
+// simulate executes one grid cell (no memoization; called once per cell
+// through run's singleflight entry).
+func (h *Harness) simulate(algo, dataset string, scheme Scheme, v runVariant) (*Run, error) {
+	start := time.Now()
 	cores := h.Cfg.Cores
 	if v.cores > 0 {
 		cores = v.cores
@@ -232,6 +302,21 @@ func (h *Harness) run(algo, dataset string, scheme Scheme, v runVariant) (*Run, 
 		Prefetcher:     fac,
 		PrefetchFillL2: v.fillL2,
 		PrefetchMSHRs:  h.mshrOverride,
+		MaxCycles:      h.Cfg.MaxCycles,
+	}
+	if h.Cfg.RunTimeout > 0 {
+		// Wall-clock guard with MaxCycles semantics: a timer flips an atomic
+		// flag, the simulator polls it and aborts with an error, and the
+		// sweep reports the run as failed instead of hanging on it. The
+		// deadline is also checked directly so timeouts shorter than timer
+		// resolution still fire deterministically.
+		deadline := start.Add(h.Cfg.RunTimeout)
+		var expired atomic.Bool
+		timer := time.AfterFunc(h.Cfg.RunTimeout, func() { expired.Store(true) })
+		defer timer.Stop()
+		scfg.Interrupt = func() bool {
+			return expired.Load() || time.Now().After(deadline)
+		}
 	}
 	run := &Run{Label: w.Label(), Scheme: scheme, W: w}
 	scfg.MissHook = func(addr uint64) {
@@ -251,10 +336,8 @@ func (h *Harness) run(algo, dataset string, scheme Scheme, v runVariant) (*Run, 
 		}
 	}
 	run.Res = res
-
-	h.mu.Lock()
-	h.cache[key] = run
-	h.mu.Unlock()
+	run.Wall = time.Since(start)
+	h.emitJSON(run, v)
 	return run, nil
 }
 

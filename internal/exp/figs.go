@@ -21,6 +21,13 @@ type Fig2Result struct {
 // Fig2 reproduces Figure 2.
 func (h *Harness) Fig2() (*Fig2Result, error) {
 	schemes := []Scheme{SchemeNone, SchemeGHB, SchemeDroplet, SchemeProdigy}
+	var jobs jobList
+	for _, s := range schemes {
+		jobs.add(h, "pr", "lj", s, runVariant{})
+	}
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	base, err := h.RunOne("pr", "lj", SchemeNone)
 	if err != nil {
 		return nil, err
@@ -70,6 +77,11 @@ type Fig4Result struct {
 // non-prefetching baseline broken into stall classes. The paper's
 // observation: DRAM stalls exceed 50% on most workloads.
 func (h *Harness) Fig4() (*Fig4Result, error) {
+	var jobs jobList
+	jobs.addCells(h, h.GraphCells(true), SchemeNone)
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	out := &Fig4Result{}
 	for _, cell := range h.GraphCells(true) {
 		r, err := h.RunOne(cell.Algo, cell.Dataset, SchemeNone)
@@ -109,6 +121,17 @@ type Fig12Result struct {
 // normalized to 4 entries.
 func (h *Harness) Fig12() (*Fig12Result, error) {
 	sizes := []int{4, 8, 16, 32}
+	var jobs jobList
+	for _, algo := range allAlgosOrdered() {
+		for _, ds := range h.datasetsFor(algo) {
+			for _, sz := range sizes {
+				jobs.add(h, algo, ds, SchemeProdigy, runVariant{pfhr: sz})
+			}
+		}
+	}
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	out := &Fig12Result{Sizes: sizes, Speedup: map[string][]float64{}}
 	for _, algo := range allAlgosOrdered() {
 		out.Algos = append(out.Algos, algo)
@@ -155,6 +178,15 @@ type Fig13Result struct {
 
 // Fig13 reproduces Figure 13.
 func (h *Harness) Fig13() (*Fig13Result, error) {
+	var jobs jobList
+	for _, algo := range allAlgosOrdered() {
+		for _, ds := range h.datasetsFor(algo) {
+			jobs.add(h, algo, ds, SchemeNone, runVariant{})
+		}
+	}
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	out := &Fig13Result{}
 	for _, algo := range allAlgosOrdered() {
 		var fracs []float64
@@ -201,6 +233,11 @@ type Fig14Result struct {
 
 // Fig14 reproduces Figure 14.
 func (h *Harness) Fig14() (*Fig14Result, error) {
+	var jobs jobList
+	jobs.addCells(h, h.GraphCells(true), SchemeNone, SchemeProdigy)
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	out := &Fig14Result{}
 	var speedups []float64
 	var dramRed, branchRed []float64
@@ -278,6 +315,15 @@ type Fig15Result struct {
 
 // Fig15 reproduces Figure 15.
 func (h *Harness) Fig15() (*Fig15Result, error) {
+	var jobs jobList
+	for _, algo := range allAlgosOrdered() {
+		for _, ds := range h.datasetsFor(algo) {
+			jobs.add(h, algo, ds, SchemeProdigy, runVariant{})
+		}
+	}
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	out := &Fig15Result{}
 	var usefuls []float64
 	for _, algo := range allAlgosOrdered() {
@@ -331,6 +377,16 @@ type Fig16Result struct {
 // Fig16 reproduces Figure 16: of the baseline's in-DIG LLC misses, how
 // many no longer reach DRAM as demand misses under Prodigy.
 func (h *Harness) Fig16() (*Fig16Result, error) {
+	var jobs jobList
+	for _, algo := range allAlgosOrdered() {
+		for _, ds := range h.datasetsFor(algo) {
+			jobs.add(h, algo, ds, SchemeNone, runVariant{})
+			jobs.add(h, algo, ds, SchemeProdigy, runVariant{})
+		}
+	}
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	out := &Fig16Result{}
 	for _, algo := range allAlgosOrdered() {
 		var saved []float64
@@ -383,6 +439,20 @@ type Fig17Result struct {
 // (IMP).
 func (h *Harness) Fig17() (*Fig17Result, error) {
 	schemes := []Scheme{SchemeNone, SchemeAJ, SchemeDroplet, SchemeIMP, SchemeProdigy}
+	var jobs jobList
+	for _, algo := range allAlgosOrdered() {
+		for _, s := range schemes {
+			if (s == SchemeAJ || s == SchemeDroplet) && !isGraphAlgo(algo) {
+				continue
+			}
+			for _, ds := range h.datasetsFor(algo) {
+				jobs.add(h, algo, ds, s, runVariant{})
+			}
+		}
+	}
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	out := &Fig17Result{Schemes: schemes, Speedup: map[string][]float64{}}
 	perScheme := make([][]float64, len(schemes))
 	for _, algo := range allAlgosOrdered() {
@@ -448,6 +518,16 @@ type Fig18Result struct {
 // Fig18 reproduces Figure 18 (paper: 2.3× average on reordered inputs —
 // reordering alone does not remove the irregular-miss bottleneck).
 func (h *Harness) Fig18() (*Fig18Result, error) {
+	var jobs jobList
+	for _, algo := range workloads.GraphAlgos {
+		for _, ds := range h.Cfg.Datasets {
+			jobs.add(h, algo, ds, SchemeNone, runVariant{hubSorted: true})
+			jobs.add(h, algo, ds, SchemeProdigy, runVariant{hubSorted: true})
+		}
+	}
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	out := &Fig18Result{}
 	var all []float64
 	for _, algo := range workloads.GraphAlgos {
@@ -497,6 +577,11 @@ type Fig19Result struct {
 
 // Fig19 reproduces Figure 19.
 func (h *Harness) Fig19() (*Fig19Result, error) {
+	var jobs jobList
+	jobs.addCells(h, h.GraphCells(true), SchemeNone, SchemeProdigy)
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	out := &Fig19Result{}
 	var savings []float64
 	for _, cell := range h.GraphCells(true) {

@@ -1,0 +1,248 @@
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"prodigy/internal/cpu"
+	"prodigy/internal/stats"
+)
+
+// This file is the parallel experiment runner. Every figure driver first
+// enumerates the (workload × dataset × scheme × variant) cells it needs as
+// a jobList and hands it to Harness.warm, which fans the independent
+// simulations out across a bounded worker pool into the memoization cache.
+// The figure's reduction logic then reads memoized results keyed by grid
+// cell, so tables and geomeans are byte-identical to serial execution
+// regardless of completion order. docs/ARCHITECTURE.md explains why the
+// runs are independent; TestParallelMatchesSerialGolden enforces the
+// guarantee.
+
+// runJob names one grid cell to simulate.
+type runJob struct {
+	algo, dataset string
+	scheme        Scheme
+	v             runVariant
+}
+
+// label renders the job for progress and error reporting.
+func (j runJob) label() string {
+	if j.dataset == "" {
+		return j.algo + "/" + string(j.scheme)
+	}
+	return j.algo + "-" + j.dataset + "/" + string(j.scheme)
+}
+
+// jobList accumulates grid cells for a sweep.
+type jobList struct {
+	jobs []runJob
+	seen map[string]bool
+}
+
+// add appends one cell, dropping duplicates (figures frequently share
+// baseline cells).
+func (l *jobList) add(h *Harness, algo, dataset string, scheme Scheme, v runVariant) {
+	if l.seen == nil {
+		l.seen = map[string]bool{}
+	}
+	key := h.key(algo, dataset, scheme, v)
+	if l.seen[key] {
+		return
+	}
+	l.seen[key] = true
+	l.jobs = append(l.jobs, runJob{algo, dataset, scheme, v})
+}
+
+// addCells appends cells × schemes with default knobs.
+func (l *jobList) addCells(h *Harness, cells []struct{ Algo, Dataset string }, schemes ...Scheme) {
+	for _, c := range cells {
+		for _, s := range schemes {
+			l.add(h, c.Algo, c.Dataset, s, runVariant{})
+		}
+	}
+}
+
+// parallelism resolves the configured worker count.
+func (h *Harness) parallelism() int {
+	if h.Cfg.Parallelism > 0 {
+		return h.Cfg.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// warm simulates every job in the list, fanning them out across up to
+// Config.Parallelism workers. All results land in the memoization cache;
+// callers re-read them via run()/RunOne in their own deterministic order.
+// Workers never die with the sweep: a panicking or timed-out simulation
+// surfaces as a tagged error for its cell (and in the returned joined
+// error) while every other cell still completes.
+func (h *Harness) warm(l jobList) error {
+	jobs := l.jobs
+	if len(jobs) == 0 {
+		return nil
+	}
+	workers := h.parallelism()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	meter := stats.NewMeter(len(jobs))
+	stopProgress := h.startProgress(meter)
+	defer stopProgress()
+
+	errc := make(chan error, len(jobs))
+	jobc := make(chan runJob)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range jobc {
+				start := time.Now()
+				_, err := h.run(j.algo, j.dataset, j.scheme, j.v)
+				if err != nil {
+					err = fmt.Errorf("%s: %w", j.label(), err)
+				}
+				meter.Done(j.label(), time.Since(start))
+				errc <- err
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobc <- j
+	}
+	close(jobc)
+
+	var errs []error
+	for range jobs {
+		if err := <-errc; err != nil {
+			errs = append(errs, err)
+		}
+	}
+	// Joined in deterministic order so the same failures always render the
+	// same message regardless of which worker hit them first.
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errors.Join(errs...)
+}
+
+// Cell names one (algorithm, dataset, scheme) grid cell with default
+// machine knobs, the unit of work RunGrid schedules.
+type Cell struct {
+	// Algo is the algorithm name; Dataset is empty for non-graph kernels.
+	Algo, Dataset string
+	// Scheme is the prefetching configuration.
+	Scheme Scheme
+}
+
+// RunGrid simulates every cell, fanned out across Config.Parallelism
+// workers, and returns results indexed exactly like cells — grid order,
+// never completion order — so output is deterministic at any parallelism.
+func (h *Harness) RunGrid(cells []Cell) ([]*Run, error) {
+	var jobs jobList
+	for _, c := range cells {
+		jobs.add(h, c.Algo, c.Dataset, c.Scheme, runVariant{})
+	}
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
+	out := make([]*Run, len(cells))
+	for i, c := range cells {
+		r, err := h.RunOne(c.Algo, c.Dataset, c.Scheme)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// startProgress launches the interval reporter for one sweep when
+// Config.Progress is set. The returned stop function emits the final
+// summary line.
+func (h *Harness) startProgress(meter *stats.Meter) (stop func()) {
+	w := h.Cfg.Progress
+	if w == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(h.Cfg.ProgressInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fmt.Fprintf(w, "exp: %s\n", meter.Snapshot())
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		s := meter.Snapshot()
+		fmt.Fprintf(w, "exp: sweep finished: %s\n", s)
+	}
+}
+
+// RunSummary is the machine-readable per-run record emitted to
+// Config.JSONLog, one JSON object per line.
+type RunSummary struct {
+	// Label is "algo-dataset" (or the algorithm alone) and Scheme the
+	// prefetching configuration.
+	Label  string `json:"label"`
+	Scheme string `json:"scheme"`
+	// Variant carries non-default machine knobs (ablations); omitted for
+	// default-knob runs.
+	Variant string `json:"variant,omitempty"`
+	// Cycles, Retired, and IPC summarize simulated performance.
+	Cycles  int64   `json:"cycles"`
+	Retired int64   `json:"retired"`
+	IPC     float64 `json:"ipc"`
+	// CPIStack maps stall-class names to their fraction of total cycles.
+	CPIStack map[string]float64 `json:"cpi_stack"`
+	// DRAMUtilization is the controller-pipe busy fraction.
+	DRAMUtilization float64 `json:"dram_util"`
+	// WallMS is host wall-clock milliseconds the simulation took.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// summarize builds the JSON record for a completed run.
+func summarize(r *Run, v runVariant) RunSummary {
+	s := RunSummary{
+		Label:           r.Label,
+		Scheme:          string(r.Scheme),
+		Cycles:          r.Res.Cycles,
+		Retired:         r.Res.Agg.Retired,
+		IPC:             r.Res.IPC(),
+		DRAMUtilization: r.Res.DRAMUtilization,
+		WallMS:          float64(r.Wall.Microseconds()) / 1e3,
+		CPIStack:        map[string]float64{},
+	}
+	if v != (runVariant{}) {
+		s.Variant = fmt.Sprintf("%+v", v)
+	}
+	if total := float64(r.Res.Agg.Total()); total > 0 {
+		for _, k := range cpu.StallKinds {
+			s.CPIStack[k.String()] = float64(r.Res.Agg.Cycles[k]) / total
+		}
+	}
+	return s
+}
+
+// emitJSON writes the run's summary line to Config.JSONLog, if set.
+func (h *Harness) emitJSON(r *Run, v runVariant) {
+	if h.Cfg.JSONLog == nil {
+		return
+	}
+	b, err := json.Marshal(summarize(r, v))
+	if err != nil {
+		return
+	}
+	h.jsonMu.Lock()
+	defer h.jsonMu.Unlock()
+	h.Cfg.JSONLog.Write(append(b, '\n'))
+}

@@ -1,0 +1,254 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// goldenCfg returns a reduced quick configuration for parallel-vs-serial
+// comparisons (fresh harnesses re-simulate everything, so keep the grid
+// small: one dataset).
+func goldenCfg(parallelism int) Config {
+	c := Quick()
+	c.Datasets = []string{"po"}
+	c.Parallelism = parallelism
+	return c
+}
+
+// TestParallelMatchesSerialGolden is the determinism guarantee: figure
+// tables rendered from a parallel sweep must be byte-identical to serial
+// execution. Run with -race, this test also exercises the worker pool for
+// data races (Parallelism 4 > 1).
+func TestParallelMatchesSerialGolden(t *testing.T) {
+	serial := New(goldenCfg(1))
+	parallel := New(goldenCfg(4))
+
+	type figure struct {
+		name  string
+		table func(h *Harness) (string, error)
+	}
+	figures := []figure{
+		{"fig2", func(h *Harness) (string, error) {
+			r, err := h.Fig2()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+		{"fig14", func(h *Harness) (string, error) {
+			r, err := h.Fig14()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+		{"table3", func(h *Harness) (string, error) {
+			r, err := h.Table3()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+	}
+	for _, f := range figures {
+		want, err := f.table(serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", f.name, err)
+		}
+		got, err := f.table(parallel)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", f.name, err)
+		}
+		if got != want {
+			t.Errorf("%s: parallel table differs from serial\n--- serial ---\n%s--- parallel ---\n%s",
+				f.name, want, got)
+		}
+	}
+}
+
+// TestRunGridDeterministicOrder checks results come back in grid order and
+// concurrent duplicate cells collapse onto one memoized run.
+func TestRunGridDeterministicOrder(t *testing.T) {
+	h := New(goldenCfg(4))
+	cells := []Cell{
+		{"bfs", "po", SchemeNone},
+		{"spmv", "", SchemeProdigy},
+		{"bfs", "po", SchemeProdigy},
+		{"bfs", "po", SchemeNone}, // duplicate of cell 0
+	}
+	runs, err := h.RunGrid(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLabels := []string{"bfs-po", "spmv", "bfs-po", "bfs-po"}
+	wantSchemes := []Scheme{SchemeNone, SchemeProdigy, SchemeProdigy, SchemeNone}
+	for i, r := range runs {
+		if r.Label != wantLabels[i] || r.Scheme != wantSchemes[i] {
+			t.Errorf("runs[%d] = %s/%s, want %s/%s", i, r.Label, r.Scheme, wantLabels[i], wantSchemes[i])
+		}
+	}
+	if runs[0] != runs[3] {
+		t.Error("duplicate cells did not share one memoized run")
+	}
+	if runs[0].Wall <= 0 {
+		t.Error("run wall time not recorded")
+	}
+}
+
+// TestSingleflightSharesOneSimulation hammers one cell from many
+// goroutines; all callers must get the same *Run pointer.
+func TestSingleflightSharesOneSimulation(t *testing.T) {
+	h := New(goldenCfg(0))
+	const goroutines = 8
+	runs := make([]*Run, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := h.RunOne("cc", "po", SchemeProdigy)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			runs[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if runs[i] != runs[0] {
+			t.Fatalf("goroutine %d got a different run instance", i)
+		}
+	}
+}
+
+// TestPanicBecomesTaggedError checks a crashing simulation is converted
+// into an error identifying the cell instead of killing the sweep, and
+// that the rest of the grid still completes.
+func TestPanicBecomesTaggedError(t *testing.T) {
+	h := New(goldenCfg(2))
+	// "nosuch" panics inside graph.Load during workload construction.
+	_, err := h.RunGrid([]Cell{
+		{"bfs", "nosuch", SchemeNone},
+		{"bfs", "po", SchemeNone},
+	})
+	if err == nil {
+		t.Fatal("expected an error for the bad cell")
+	}
+	if !strings.Contains(err.Error(), "panic") || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("error not tagged with panicking cell: %v", err)
+	}
+	// The healthy cell completed despite its neighbour crashing.
+	if _, err := h.RunOne("bfs", "po", SchemeNone); err != nil {
+		t.Fatalf("good cell poisoned by bad cell: %v", err)
+	}
+	// The panic is memoized as an error, not retried into a second crash.
+	if _, err := h.RunOne("bfs", "nosuch", SchemeNone); err == nil {
+		t.Fatal("memoized panic should stay an error")
+	}
+}
+
+// TestRunTimeoutAborts checks the wall-clock guard converts an
+// over-budget run into a tagged error with MaxCycles-style semantics.
+func TestRunTimeoutAborts(t *testing.T) {
+	cfg := goldenCfg(1)
+	cfg.RunTimeout = time.Nanosecond // already expired at the first poll
+	h := New(cfg)
+	_, err := h.RunOne("bfs", "po", SchemeNone)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("expected interrupt error, got %v", err)
+	}
+	// Without the timeout the same cell runs fine on a fresh harness.
+	h2 := New(goldenCfg(1))
+	if _, err := h2.RunOne("bfs", "po", SchemeNone); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxCyclesThreaded checks exp.Config.MaxCycles reaches the simulator.
+func TestMaxCyclesThreaded(t *testing.T) {
+	cfg := goldenCfg(1)
+	cfg.MaxCycles = 10
+	h := New(cfg)
+	_, err := h.RunOne("bfs", "po", SchemeNone)
+	if err == nil || !strings.Contains(err.Error(), "MaxCycles") {
+		t.Fatalf("expected MaxCycles error, got %v", err)
+	}
+}
+
+// TestProgressAndJSONReporting checks the observability surfaces: the
+// progress reporter emits a final sweep summary and JSONLog carries one
+// well-formed summary line per executed simulation.
+func TestProgressAndJSONReporting(t *testing.T) {
+	var progress, jsonl bytes.Buffer
+	cfg := goldenCfg(2)
+	cfg.Progress = &progress
+	cfg.ProgressInterval = time.Millisecond
+	cfg.JSONLog = &jsonl
+	h := New(cfg)
+
+	if _, err := h.Fig2(); err != nil {
+		t.Fatal(err)
+	}
+	out := progress.String()
+	if !strings.Contains(out, "sweep finished") || !strings.Contains(out, "4/4 runs") {
+		t.Errorf("progress output missing summary:\n%s", out)
+	}
+
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("JSON lines = %d, want 4 (one per simulation)", len(lines))
+	}
+	schemes := map[string]bool{}
+	for _, line := range lines {
+		var s RunSummary
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if s.Label != "pr-lj" || s.Cycles <= 0 || s.Retired <= 0 || s.WallMS <= 0 {
+			t.Errorf("degenerate summary: %+v", s)
+		}
+		var sum float64
+		for _, f := range s.CPIStack {
+			sum += f
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("%s/%s: CPI stack sums to %f", s.Label, s.Scheme, sum)
+		}
+		schemes[s.Scheme] = true
+	}
+	for _, want := range []Scheme{SchemeNone, SchemeGHB, SchemeDroplet, SchemeProdigy} {
+		if !schemes[string(want)] {
+			t.Errorf("no JSON summary for scheme %s", want)
+		}
+	}
+
+	// Re-running the figure hits the memoization cache: no new JSON lines.
+	jsonl.Reset()
+	if _, err := h.Fig2(); err != nil {
+		t.Fatal(err)
+	}
+	if jsonl.Len() != 0 {
+		t.Errorf("cached replay re-emitted JSON: %q", jsonl.String())
+	}
+}
+
+// TestWarmDedupesJobs checks the job list drops duplicate cells so the
+// meter's total reflects unique simulations.
+func TestWarmDedupesJobs(t *testing.T) {
+	h := New(goldenCfg(1))
+	var l jobList
+	l.add(h, "bfs", "po", SchemeNone, runVariant{})
+	l.add(h, "bfs", "po", SchemeNone, runVariant{})
+	l.add(h, "bfs", "po", SchemeProdigy, runVariant{})
+	if len(l.jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2 after dedup", len(l.jobs))
+	}
+	if err := h.warm(l); err != nil {
+		t.Fatal(err)
+	}
+}

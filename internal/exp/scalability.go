@@ -22,6 +22,14 @@ func (h *Harness) Scalability(coreCounts []int) (*ScalabilityResult, error) {
 		coreCounts = []int{1, 2, 4, 8, 16, 32}
 	}
 	ds := h.Cfg.Datasets[0]
+	var jobs jobList
+	for _, nc := range coreCounts {
+		jobs.add(h, "pr", ds, SchemeNone, runVariant{cores: nc})
+		jobs.add(h, "pr", ds, SchemeProdigy, runVariant{cores: nc})
+	}
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	out := &ScalabilityResult{Cores: coreCounts}
 	var base1 float64
 	for i, nc := range coreCounts {

@@ -33,6 +33,18 @@ func (h *Harness) Table3() (*Table3Result, error) {
 		{PriorWork: "DROPLET [15]", Algos: []string{"bc", "bfs", "cc", "pr", "sssp"}, PriorReported: 1.9},
 		{PriorWork: "IMP [99]", Algos: []string{"bfs", "pr", "spmv", "symgs"}, PriorReported: 1.8},
 	}
+	var jobs jobList
+	for _, row := range rows {
+		for _, algo := range row.Algos {
+			for _, ds := range h.datasetsFor(algo) {
+				jobs.add(h, algo, ds, SchemeNone, runVariant{})
+				jobs.add(h, algo, ds, SchemeProdigy, runVariant{})
+			}
+		}
+	}
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	out := &Table3Result{}
 	for _, row := range rows {
 		var best []float64
@@ -89,6 +101,15 @@ type RangedFractionResult struct {
 
 // RangedFraction reproduces the Section VI-C ranged-indirection statistic.
 func (h *Harness) RangedFraction() (*RangedFractionResult, error) {
+	var jobs jobList
+	for _, algo := range []string{"bc", "bfs", "cc", "pr", "sssp"} {
+		for _, ds := range h.datasetsFor(algo) {
+			jobs.add(h, algo, ds, SchemeProdigy, runVariant{})
+		}
+	}
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	out := &RangedFractionResult{}
 	for _, algo := range []string{"bc", "bfs", "cc", "pr", "sssp"} {
 		var fracs []float64
@@ -182,6 +203,15 @@ type SoftwarePFResult struct {
 
 // SoftwarePF reproduces the software-prefetching comparison.
 func (h *Harness) SoftwarePF() (*SoftwarePFResult, error) {
+	var jobs jobList
+	for _, ds := range h.Cfg.Datasets {
+		for _, s := range []Scheme{SchemeNone, SchemeSoftware, SchemeProdigy} {
+			jobs.add(h, "pr", ds, s, runVariant{})
+		}
+	}
+	if err := h.warm(jobs); err != nil {
+		return nil, err
+	}
 	out := &SoftwarePFResult{}
 	for _, ds := range h.Cfg.Datasets {
 		base, err := h.RunOne("pr", ds, SchemeNone)

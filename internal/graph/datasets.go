@@ -90,9 +90,19 @@ type cacheKey struct {
 	variant string
 }
 
+// cacheEntry memoizes one dataset variant. The per-entry Once gives
+// loadVariant singleflight semantics: under concurrent simulations (the
+// parallel experiment runner) each variant is built exactly once and every
+// caller receives the same *Graph, so runs can never observe two distinct
+// copies of "the same" immutable dataset.
+type cacheEntry struct {
+	once sync.Once
+	g    *Graph
+}
+
 var (
 	cacheMu sync.Mutex
-	cache   = map[cacheKey]*Graph{}
+	cache   = map[cacheKey]*cacheEntry{}
 )
 
 // Load returns the named dataset at the given scale. Graphs are memoized;
@@ -152,29 +162,26 @@ func LoadHubSorted(name string, scale Scale, base string) *Graph {
 func loadVariant(name string, scale Scale, variant string, f func(*Graph) *Graph) *Graph {
 	key := cacheKey{name, scale, variant}
 	cacheMu.Lock()
-	if g, ok := cache[key]; ok {
-		cacheMu.Unlock()
-		return g
+	e, ok := cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		cache[key] = e
 	}
 	cacheMu.Unlock()
 
-	var g *Graph
-	for _, d := range datasets {
-		if d.Name == name {
-			// Build outside the lock: variant builders may recursively load
-			// their base variant.
-			g = f(d.build(scale))
-			break
+	// Build outside the map lock: variant builders may recursively load
+	// their base variant. The entry's Once serializes concurrent loaders of
+	// the same variant without blocking loads of other variants.
+	e.once.Do(func() {
+		for _, d := range datasets {
+			if d.Name == name {
+				e.g = f(d.build(scale))
+				return
+			}
 		}
-	}
-	if g == nil {
+	})
+	if e.g == nil {
 		panic("graph: unknown dataset " + name)
 	}
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if prev, ok := cache[key]; ok {
-		return prev
-	}
-	cache[key] = g
-	return g
+	return e.g
 }

@@ -49,6 +49,7 @@ func (g *Graph) SizeBytes() int {
 	return n
 }
 
+// String renders a compact size summary for logs and error messages.
 func (g *Graph) String() string {
 	return fmt.Sprintf("graph{n=%d m=%d}", g.NumNodes, g.NumEdges())
 }

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -305,6 +306,32 @@ func TestDegreeBoundsDatasets(t *testing.T) {
 	for _, name := range []string{"po", "lj", "or", "wb"} {
 		if Load(name, ScaleSmall).NumEdges() > sk.NumEdges() {
 			t.Errorf("%s has more edges than sk", name)
+		}
+	}
+}
+
+func TestConcurrentLoadSingleflight(t *testing.T) {
+	// Parallel experiment runs load dataset variants concurrently; every
+	// caller must receive the same memoized *Graph (one build per variant),
+	// and nothing may race (enforced under `go test -race`).
+	const goroutines = 8
+	var wg sync.WaitGroup
+	results := make([]*Graph, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Mixed variant kinds, including the recursive hub-sorted path.
+			_ = LoadUndirected("po", ScaleTiny)
+			_ = LoadWeighted("po", ScaleTiny)
+			_ = LoadHubSorted("po", ScaleTiny, "csc")
+			results[i] = Load("po", ScaleTiny)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d observed a different *Graph for the same variant", i)
 		}
 	}
 }

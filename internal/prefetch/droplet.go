@@ -70,8 +70,11 @@ type dropletPF struct {
 	lastDemand map[dig.NodeID]uint64
 }
 
+// Name implements Prefetcher.
 func (p *dropletPF) Name() string { return "droplet" }
 
+// OnDemand streams sequentially ahead of demand accesses to the offset and
+// edge arrays (the regular half of DROPLET's design).
 func (p *dropletPF) OnDemand(now int64, pc uint32, addr uint64, level cache.Level) {
 	if level != cache.LvlMem {
 		return // memory-side prefetcher: only DRAM responses trigger
@@ -85,6 +88,9 @@ func (p *dropletPF) OnDemand(now int64, pc uint32, addr uint64, level cache.Leve
 	p.handleEdgeLine(n, addr)
 }
 
+// OnFill reacts to completed prefetches: an edge-array line that lands
+// within the demand-anchored window dereferences its vertex ids into the
+// visited-like arrays (the irregular half of DROPLET's design).
 func (p *dropletPF) OnFill(now int64, addr uint64, meta uint32, level cache.Level) {
 	if meta != dropletEdgeMeta || level != cache.LvlMem {
 		return

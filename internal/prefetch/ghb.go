@@ -32,8 +32,11 @@ type ghbPF struct {
 	hist []uint64 // line addresses, newest last
 }
 
+// Name implements Prefetcher.
 func (p *ghbPF) Name() string { return "ghb-gdc" }
 
+// OnDemand appends the miss to the global history buffer and prefetches
+// down the recorded delta chain for the current delta-pair context.
 func (p *ghbPF) OnDemand(now int64, pc uint32, addr uint64, level cache.Level) {
 	if level == cache.LvlL1 {
 		return // G/DC trains on misses
@@ -70,4 +73,5 @@ func (p *ghbPF) OnDemand(now int64, pc uint32, addr uint64, level cache.Level) {
 	}
 }
 
+// OnFill is a no-op: G/DC trains only on demand misses.
 func (p *ghbPF) OnFill(int64, uint64, uint32, cache.Level) {}

@@ -56,8 +56,12 @@ type impPF struct {
 	lastStream *impStream
 }
 
+// Name implements Prefetcher.
 func (p *impPF) Name() string { return "imp" }
 
+// OnDemand advances the matching index stream if the access extends one,
+// and otherwise tries to correlate the miss against recent index values to
+// discover a new base+scale*index pattern.
 func (p *impPF) OnDemand(now int64, pc uint32, addr uint64, level cache.Level) {
 	e := &p.streams[int(pc)%p.cfg.TableSize]
 	if e.pc == pc {
@@ -139,4 +143,5 @@ func (p *impPF) correlate(missAddr uint64) {
 	}
 }
 
+// OnFill is a no-op: IMP reads index values functionally at demand time.
 func (p *impPF) OnFill(int64, uint64, uint32, cache.Level) {}

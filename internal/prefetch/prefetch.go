@@ -56,6 +56,8 @@ func None() Factory {
 	return func(Env) Prefetcher { return nonePrefetcher{} }
 }
 
+// nonePrefetcher is the no-op baseline: every demand access goes to the
+// memory system unassisted.
 type nonePrefetcher struct{}
 
 func (nonePrefetcher) Name() string                                { return "none" }

@@ -36,8 +36,11 @@ type stridePF struct {
 	table []strideEntry
 }
 
+// Name implements Prefetcher.
 func (p *stridePF) Name() string { return "stride" }
 
+// OnDemand trains the per-PC stride table on the demand address and, once
+// a stride repeats, issues Degree prefetches ahead of it.
 func (p *stridePF) OnDemand(now int64, pc uint32, addr uint64, level cache.Level) {
 	e := &p.table[int(pc)%p.cfg.TableSize]
 	if e.pc != pc {
@@ -69,4 +72,5 @@ func (p *stridePF) OnDemand(now int64, pc uint32, addr uint64, level cache.Level
 	}
 }
 
+// OnFill is a no-op: stride prefetching trains only on demand accesses.
 func (p *stridePF) OnFill(int64, uint64, uint32, cache.Level) {}

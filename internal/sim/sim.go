@@ -45,6 +45,11 @@ type Config struct {
 	// PrefetchFillL2 places prefetch fills in the L2 instead of the L1D
 	// (the fill-level ablation; the paper's design fills the L1D).
 	PrefetchFillL2 bool
+	// Interrupt, when set, is polled periodically during the run; returning
+	// true aborts the simulation with an error, mirroring the MaxCycles
+	// guard. The experiment runner uses it for per-run wall-clock timeouts,
+	// since a simulation goroutine cannot be killed from outside.
+	Interrupt func() bool
 }
 
 // Default returns the Table I machine (capacities scaled per DESIGN.md §2)
@@ -122,6 +127,8 @@ type pfEvent struct {
 	idx          int // heap index
 }
 
+// eventHeap is a min-heap of pending prefetch completions ordered by ready
+// cycle (container/heap.Interface).
 type eventHeap []*pfEvent
 
 func (h eventHeap) Len() int            { return len(h) }
@@ -367,10 +374,18 @@ func (m *Machine) allActiveParked() bool {
 	return active > 0
 }
 
+// interruptPollMask throttles Interrupt polling to every 64th scheduling
+// iteration (with a poll on the very first one, so an already-expired
+// deadline aborts before any work).
+const interruptPollMask = 63
+
 // Run drives the machine to completion and returns the results.
 func (m *Machine) Run() (Result, error) {
 	now := int64(0)
-	for {
+	for iter := 0; ; iter++ {
+		if m.cfg.Interrupt != nil && iter&interruptPollMask == 0 && m.cfg.Interrupt() {
+			return Result{}, fmt.Errorf("sim: interrupted at cycle %d", now)
+		}
 		m.processEvents(now)
 		m.now = now
 
@@ -443,6 +458,12 @@ func Run(cfg Config, space *memspace.Space, gen *trace.Gen, producer func(*trace
 	m := NewMachine(cfg, space, gen)
 	wait := gen.Run(producer)
 	res, err := m.Run()
-	wait()
+	// Unblock the producer if the machine stopped early (error, interrupt):
+	// it cannot be killed, so it runs to completion against a closed sink.
+	// On a clean finish the streams are already closed and this is a no-op.
+	gen.Abort()
+	if perr := wait(); perr != nil && err == nil {
+		res, err = Result{}, perr
+	}
 	return res, err
 }

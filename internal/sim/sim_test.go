@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"prodigy/internal/cache"
@@ -398,5 +399,45 @@ func TestMaxCyclesAborts(t *testing.T) {
 	_, err := Run(cfg, space, trace.NewGen(1, 1<<20), seqWorkload(arr))
 	if err == nil {
 		t.Fatal("expected MaxCycles error")
+	}
+}
+
+func TestInterruptAborts(t *testing.T) {
+	space := memspace.New()
+	arr := space.AllocU32("a", 1<<14)
+	cfg := Default(1)
+	cfg.Interrupt = func() bool { return true }
+	_, err := Run(cfg, space, trace.NewGen(1, 1<<20), seqWorkload(arr))
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("expected interrupt error, got %v", err)
+	}
+}
+
+func TestInterruptPolledDuringRun(t *testing.T) {
+	// An interrupt raised after some polls still aborts mid-run; a never-
+	// firing interrupt must not change the result.
+	space := memspace.New()
+	arr := space.AllocU32("a", 1<<14)
+	polls := 0
+	cfg := Default(1)
+	cfg.Interrupt = func() bool { polls++; return polls > 3 }
+	_, err := Run(cfg, space, trace.NewGen(1, 1<<20), seqWorkload(arr))
+	if err == nil {
+		t.Fatal("expected interrupt error")
+	}
+	if polls != 4 {
+		t.Fatalf("polls = %d, want 4", polls)
+	}
+
+	space2 := memspace.New()
+	arr2 := space2.AllocU32("a", 1<<14)
+	cfg2 := Default(1)
+	cfg2.Interrupt = func() bool { return false }
+	res, err := Run(cfg2, space2, trace.NewGen(1, 1<<20), seqWorkload(arr2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agg.Retired != 2*(1<<14) {
+		t.Fatalf("retired = %d", res.Agg.Retired)
 	}
 }

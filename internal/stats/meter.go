@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Meter is a thread-safe progress tracker for a fixed-size batch of work
+// items. Workers report completions with Done; an observer polls Snapshot
+// to render progress lines (runs completed/total, ETA, slowest item so
+// far). The experiment runner uses one Meter per sweep.
+type Meter struct {
+	mu           sync.Mutex
+	total        int
+	done         int
+	start        time.Time
+	slowest      time.Duration
+	slowestLabel string
+}
+
+// NewMeter starts tracking a batch of total items, with the clock running
+// from now.
+func NewMeter(total int) *Meter {
+	return &Meter{total: total, start: time.Now()}
+}
+
+// Done records the completion of one item and how long it took. Cached or
+// skipped items may report a zero duration; they still advance the count.
+func (m *Meter) Done(label string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done++
+	if d > m.slowest {
+		m.slowest = d
+		m.slowestLabel = label
+	}
+}
+
+// MeterSnapshot is a point-in-time view of a Meter.
+type MeterSnapshot struct {
+	// Done and Total count completed and scheduled items.
+	Done, Total int
+	// Elapsed is the wall time since the Meter was created.
+	Elapsed time.Duration
+	// ETA linearly extrapolates the remaining wall time from the average
+	// per-item time so far (zero until the first completion).
+	ETA time.Duration
+	// Slowest is the longest single item observed, labeled SlowestLabel.
+	Slowest      time.Duration
+	SlowestLabel string
+}
+
+// Snapshot returns the current progress view.
+func (m *Meter) Snapshot() MeterSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MeterSnapshot{
+		Done: m.done, Total: m.total,
+		Elapsed: time.Since(m.start),
+		Slowest: m.slowest, SlowestLabel: m.slowestLabel,
+	}
+	if m.done > 0 && m.done < m.total {
+		s.ETA = time.Duration(int64(s.Elapsed) / int64(m.done) * int64(m.total-m.done))
+	}
+	return s
+}
+
+// String renders the snapshot as a one-line progress report.
+func (s MeterSnapshot) String() string {
+	pct := 0.0
+	if s.Total > 0 {
+		pct = 100 * float64(s.Done) / float64(s.Total)
+	}
+	line := fmt.Sprintf("%d/%d runs (%.1f%%), elapsed %s",
+		s.Done, s.Total, pct, s.Elapsed.Round(time.Millisecond))
+	if s.ETA > 0 {
+		line += fmt.Sprintf(", eta %s", s.ETA.Round(time.Millisecond))
+	}
+	if s.SlowestLabel != "" {
+		line += fmt.Sprintf(", slowest %s %s", s.SlowestLabel, s.Slowest.Round(time.Millisecond))
+	}
+	return line
+}

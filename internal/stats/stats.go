@@ -52,7 +52,9 @@ func Normalize(xs []float64, base float64) []float64 {
 
 // Table accumulates rows and renders them with aligned columns.
 type Table struct {
-	Title   string
+	// Title is printed above the table when non-empty.
+	Title string
+	// Headers are the column names; rows are aligned to them.
 	Headers []string
 	rows    [][]string
 }

@@ -3,12 +3,19 @@
 //
 // Workloads execute functionally (on real arrays in a memspace.Space) and
 // emit one Instr per dynamic instruction. The generator runs in its own
-// goroutine, bounded ahead of the simulator by an epoch throttle, so memory
-// stays proportional to one synchronization epoch rather than the whole
-// trace.
+// goroutine and alternates strictly with the simulator one synchronization
+// epoch at a time: it stages an epoch, publishes it at the barrier, and
+// blocks until the simulator has drained it. Memory stays proportional to
+// one epoch rather than the whole trace, and because exactly one side runs
+// at any instant, plain workload stores and functional simulator reads of
+// the same arrays are race-free and deterministic.
 package trace
 
-import "sync"
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
 
 // Kind classifies a dynamic instruction.
 type Kind uint8
@@ -88,49 +95,11 @@ func (in Instr) LoadDep() bool { return in.Flags&LoadDepFlag != 0 }
 // chunkSize is the number of instructions flushed to a stream at once.
 const chunkSize = 4096
 
-// Stream is a single core's instruction queue: a producer appends chunks,
-// one consumer pops them.
+// Stream is a single core's instruction queue: the producer appends chunks,
+// one consumer pops them. All fields are guarded by the owning Gen's mutex.
 type Stream struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
 	chunks [][]Instr
 	closed bool
-}
-
-func newStream() *Stream {
-	s := &Stream{}
-	s.cond = sync.NewCond(&s.mu)
-	return s
-}
-
-func (s *Stream) push(c []Instr) {
-	s.mu.Lock()
-	s.chunks = append(s.chunks, c)
-	s.mu.Unlock()
-	s.cond.Signal()
-}
-
-func (s *Stream) close() {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	s.cond.Signal()
-}
-
-// pop blocks until a chunk is available or the stream is closed and empty.
-func (s *Stream) pop() ([]Instr, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for len(s.chunks) == 0 && !s.closed {
-		s.cond.Wait()
-	}
-	if len(s.chunks) == 0 {
-		return nil, false
-	}
-	c := s.chunks[0]
-	s.chunks[0] = nil
-	s.chunks = s.chunks[1:]
-	return c, true
 }
 
 // Reader is the simulator-side cursor over one core's stream.
@@ -149,8 +118,7 @@ func (r *Reader) Next() (Instr, bool) {
 		if r.done {
 			return Instr{}, false
 		}
-		r.gen.release(len(r.cur))
-		c, ok := r.s.pop()
+		c, ok := r.gen.pop(r.s)
 		if !ok {
 			r.done = true
 			r.cur = nil
@@ -167,31 +135,47 @@ func (r *Reader) Next() (Instr, bool) {
 
 // Gen produces per-core instruction streams. All emit methods must be
 // called from a single producer goroutine.
+//
+// In asynchronous mode the producer and the consumer alternate strictly:
+// the producer stages each epoch's chunks privately, publishes them at the
+// Barrier, and then blocks until the consumer has drained every stream and
+// parked again waiting for more. At any instant at most one of the two is
+// running, so workloads may write their memspace arrays with plain stores
+// while the simulator performs functional reads of the same arrays — the
+// handoff mutex orders every write before every read that can observe it.
+// It also makes the values the prefetchers read deterministic: they always
+// see memory as of the end of the epoch being consumed.
 type Gen struct {
 	streams []*Stream
 	readers []*Reader
-	bufs    [][]Instr
+	bufs    [][]Instr   // per-core chunk being filled (producer-private)
+	pending [][][]Instr // per-core chunks staged until the next handoff
 
-	// throttle state
-	mu       sync.Mutex
-	cond     *sync.Cond
-	buffered int // instructions flushed but not yet consumed
-	max      int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiting bool // consumer is parked awaiting the next epoch
+	aborted bool // consumer abandoned the run; discard all further output
+	async   bool
 }
 
-// NewGen creates a generator for ncores cores, allowing at most maxBuffered
-// instructions to be in flight between producer and consumer (checked at
-// barriers). maxBuffered <= 0 disables throttling.
+// NewGen creates a generator for ncores cores. maxBuffered > 0 selects
+// asynchronous mode, where a producer goroutine alternates with the
+// consumer one epoch at a time (the limit itself is vestigial: buffering
+// is now bounded at one epoch regardless of its value). maxBuffered <= 0
+// selects synchronous mode — emissions publish immediately and barriers
+// never block — for producers that run to completion before any consumer
+// starts (Collect, unit tests).
 func NewGen(ncores, maxBuffered int) *Gen {
 	g := &Gen{
 		streams: make([]*Stream, ncores),
 		readers: make([]*Reader, ncores),
 		bufs:    make([][]Instr, ncores),
-		max:     maxBuffered,
+		pending: make([][][]Instr, ncores),
+		async:   maxBuffered > 0,
 	}
 	g.cond = sync.NewCond(&g.mu)
 	for i := range g.streams {
-		g.streams[i] = newStream()
+		g.streams[i] = &Stream{}
 		g.readers[i] = &Reader{s: g.streams[i], gen: g}
 	}
 	return g
@@ -203,51 +187,109 @@ func (g *Gen) Cores() int { return len(g.streams) }
 // Reader returns the consumer cursor for a core.
 func (g *Gen) Reader(core int) *Reader { return g.readers[core] }
 
-func (g *Gen) release(n int) {
-	if n == 0 || g.max <= 0 {
-		return
-	}
+// pop hands the consumer the next chunk of s, parking (and thereby handing
+// the turn to the producer) while none is available. Returns ok=false once
+// the stream is closed and empty.
+func (g *Gen) pop(s *Stream) ([]Instr, bool) {
 	g.mu.Lock()
-	g.buffered -= n
-	g.mu.Unlock()
-	g.cond.Signal()
+	defer g.mu.Unlock()
+	for len(s.chunks) == 0 && !s.closed {
+		g.waiting = true
+		g.cond.Broadcast()
+		g.cond.Wait()
+		g.waiting = false
+	}
+	if len(s.chunks) == 0 {
+		return nil, false
+	}
+	c := s.chunks[0]
+	s.chunks[0] = nil
+	s.chunks = s.chunks[1:]
+	return c, true
 }
 
-func (g *Gen) charge(n int) {
-	if g.max <= 0 {
-		return
+// drained reports whether the consumer has popped every published chunk.
+// Callers must hold g.mu.
+func (g *Gen) drained() bool {
+	for _, s := range g.streams {
+		if len(s.chunks) > 0 {
+			return false
+		}
 	}
-	g.mu.Lock()
-	g.buffered += n
-	g.mu.Unlock()
+	return true
 }
 
-// throttle blocks the producer until the consumer drains below the limit.
-func (g *Gen) throttle() {
-	if g.max <= 0 {
+// handoff publishes all staged chunks to the consumer and, in asynchronous
+// mode, blocks until the consumer has drained them and parked again — the
+// point at which the producer may safely resume mutating workload memory.
+// With closing set it instead closes every stream and returns immediately.
+func (g *Gen) handoff(closing bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for c := range g.pending {
+		if g.aborted {
+			g.pending[c] = nil
+			continue
+		}
+		g.streams[c].chunks = append(g.streams[c].chunks, g.pending[c]...)
+		g.pending[c] = nil
+	}
+	if closing {
+		for _, s := range g.streams {
+			s.closed = true
+		}
+	}
+	g.cond.Broadcast()
+	if closing || !g.async {
 		return
 	}
-	g.mu.Lock()
-	for g.buffered > g.max {
+	for !g.aborted && !(g.waiting && g.drained()) {
 		g.cond.Wait()
 	}
+}
+
+// Abort permanently unblocks the producer and discards everything it
+// publishes from now on. The simulator calls it when abandoning a run
+// early (error, interrupt, panic): the producer goroutine cannot be
+// killed, so it is let run to completion against a closed sink.
+func (g *Gen) Abort() {
+	g.mu.Lock()
+	g.aborted = true
+	for _, s := range g.streams {
+		s.chunks = nil
+		s.closed = true
+	}
 	g.mu.Unlock()
+	g.cond.Broadcast()
 }
 
 func (g *Gen) emit(core int, in Instr) {
 	b := append(g.bufs[core], in)
 	if len(b) >= chunkSize {
-		g.streams[core].push(b)
-		g.charge(len(b))
+		g.stage(core, b)
 		b = nil
 	}
 	g.bufs[core] = b
 }
 
+// stage queues a completed chunk for the next handoff. In synchronous mode
+// it publishes immediately instead.
+func (g *Gen) stage(core int, c []Instr) {
+	if g.async {
+		g.pending[core] = append(g.pending[core], c)
+		return
+	}
+	g.mu.Lock()
+	if !g.aborted {
+		g.streams[core].chunks = append(g.streams[core].chunks, c)
+	}
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
 func (g *Gen) flush(core int) {
 	if len(g.bufs[core]) > 0 {
-		g.streams[core].push(g.bufs[core])
-		g.charge(len(g.bufs[core]))
+		g.stage(core, g.bufs[core])
 		g.bufs[core] = nil
 	}
 }
@@ -298,37 +340,44 @@ func (g *Gen) SoftPrefetch(core int, pc uint32, addr uint64) {
 	g.emit(core, Instr{Kind: SoftPrefetch, PC: pc, Addr: addr})
 }
 
-// Barrier emits a barrier to every core, flushes all buffers, and applies
-// the epoch throttle: the producer blocks here until the consumer has
-// drained below the buffering limit.
+// Barrier emits a barrier to every core, publishes the epoch, and — in
+// asynchronous mode — blocks until the consumer has drained it and parked,
+// keeping producer and consumer strictly alternating.
 func (g *Gen) Barrier() {
 	for c := range g.streams {
 		g.emit(c, Instr{Kind: Barrier})
 		g.flush(c)
 	}
-	g.throttle()
+	g.handoff(false)
 }
 
-// Close flushes remaining buffers and closes all streams. The producer must
-// not emit after Close.
+// Close publishes remaining buffers and closes all streams. The producer
+// must not emit after Close.
 func (g *Gen) Close() {
 	for c := range g.streams {
 		g.flush(c)
-		g.streams[c].close()
 	}
+	g.handoff(true)
 }
 
 // Run starts fn in a producer goroutine and closes the generator when it
-// returns. The returned function waits for the producer to finish (used by
-// tests; the simulator instead drains readers to completion).
-func (g *Gen) Run(fn func(*Gen)) (wait func()) {
+// returns. The returned function waits for the producer to finish and
+// reports a panic in fn as an error, so one crashing workload kernel
+// surfaces as a failed run instead of killing the whole process.
+func (g *Gen) Run(fn func(*Gen)) (wait func() error) {
 	done := make(chan struct{})
+	var err error
 	go func() {
 		defer close(done)
 		defer g.Close()
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("trace: workload producer panicked: %v\n%s", p, debug.Stack())
+			}
+		}()
 		fn(g)
 	}()
-	return func() { <-done }
+	return func() error { <-done; return err }
 }
 
 // Collect runs fn synchronously with throttling disabled and returns every

@@ -1,7 +1,7 @@
 package trace
 
 import (
-	"sync"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -86,48 +86,101 @@ func TestConcurrentProducerConsumer(t *testing.T) {
 	}
 }
 
-func TestThrottleBoundsBuffering(t *testing.T) {
-	// With a tiny limit the producer must block at barriers; peak buffered
-	// instructions must stay near one epoch.
-	g := NewGen(1, 100)
-	started := make(chan struct{})
-	var mu sync.Mutex
-	peak := 0
+func TestStrictAlternation(t *testing.T) {
+	// Producer and consumer must never run concurrently. The producer
+	// bumps a deliberately unsynchronized counter after each Barrier
+	// returns; when the consumer reads it at barrier k, the producer is
+	// still parked inside Barrier k's handoff, so the value is exactly
+	// k-1. Any overlap is both a wrong value here and a data race under
+	// -race — the same discipline that lets workload kernels write
+	// memspace arrays the simulator reads.
+	const epochs, loads = 50, 50
+	g := NewGen(1, 1)
+	epoch := 0 // plain shared int: the handoff must order all accesses
 	wait := g.Run(func(g *Gen) {
-		close(started)
-		for e := 0; e < 50; e++ {
-			for i := 0; i < 50; i++ {
+		for e := 0; e < epochs; e++ {
+			for i := 0; i < loads; i++ {
 				g.Load(0, 1, uint64(i))
 			}
 			g.Barrier()
-			g.mu.Lock()
-			if g.buffered > peak {
-				mu.Lock()
-				peak = g.buffered
-				mu.Unlock()
-			}
-			g.mu.Unlock()
+			epoch = e + 1
 		}
 	})
-	<-started
 	r := g.Reader(0)
-	count := 0
+	count, barriers := 0, 0
 	for {
-		_, ok := r.Next()
+		in, ok := r.Next()
 		if !ok {
 			break
 		}
 		count++
+		if in.Kind == Barrier {
+			barriers++
+			if epoch != barriers-1 {
+				t.Fatalf("at barrier %d producer had finished epoch %d, want %d",
+					barriers, epoch, barriers-1)
+			}
+		}
 	}
-	wait()
-	if count != 50*51 { // 50 loads + 1 barrier per epoch
-		t.Fatalf("count = %d", count)
+	if err := wait(); err != nil {
+		t.Fatal(err)
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	// One epoch is 51 instructions; allow the in-flight epoch plus limit.
-	if peak > 100+51 {
-		t.Fatalf("peak buffered = %d, want <= 151", peak)
+	if count != epochs*(loads+1) {
+		t.Fatalf("count = %d, want %d", count, epochs*(loads+1))
+	}
+}
+
+func TestAbortUnblocksProducer(t *testing.T) {
+	// A consumer that abandons the run mid-trace must not strand the
+	// producer in a barrier handoff; after Abort it runs to completion
+	// against a closed sink.
+	g := NewGen(1, 1)
+	finished := false
+	wait := g.Run(func(g *Gen) {
+		for e := 0; e < 100; e++ {
+			for i := 0; i < 10; i++ {
+				g.Load(0, 1, uint64(i))
+			}
+			g.Barrier()
+		}
+		finished = true
+	})
+	r := g.Reader(0)
+	for i := 0; i < 5; i++ { // consume a few instructions, then walk away
+		r.Next()
+	}
+	g.Abort()
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !finished {
+		t.Fatal("producer did not run to completion after Abort")
+	}
+	// Draining the leftover chunk terminates instead of hanging: the
+	// aborted streams are closed and publish nothing further.
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+}
+
+func TestProducerPanicBecomesError(t *testing.T) {
+	g := NewGen(1, 1)
+	wait := g.Run(func(g *Gen) {
+		g.Load(0, 1, 1)
+		g.Barrier()
+		panic("kernel bug")
+	})
+	r := g.Reader(0)
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	err := wait()
+	if err == nil || !strings.Contains(err.Error(), "kernel bug") {
+		t.Fatalf("producer panic not surfaced: %v", err)
 	}
 }
 
