@@ -3,15 +3,25 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench tables
+.PHONY: check build vet lint fmt test race bench tables
 
-check: build vet race
+check: build vet lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis: simulator invariants (determinism,
+# copylock, errcheck) plus the compiler-pass DIG cross-check of every
+# workload kernel. See docs/LINT.md.
+lint: fmt
+	$(GO) run ./cmd/prodigy-lint ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...

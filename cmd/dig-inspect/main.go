@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	dig-inspect -algo bfs [-dataset po]
+//	dig-inspect -algo bfs [-dataset po] [-check]
+//
+// With -check the kernel's DIG is instead extracted from its real Go
+// source (internal/workloads) by the compiler frontend and diffed against
+// the hand-written dig.Builder registration, exiting non-zero on
+// unexplained drift.
 package main
 
 import (
@@ -14,15 +19,22 @@ import (
 	"os"
 
 	"prodigy/internal/compiler"
+	"prodigy/internal/compiler/frontend"
 	"prodigy/internal/dig"
 	"prodigy/internal/graph"
+	"prodigy/internal/lint"
 	"prodigy/internal/workloads"
 )
 
 func main() {
 	algo := flag.String("algo", "bfs", "algorithm: bc bfs cc pr sssp spmv symgs cg is")
 	dataset := flag.String("dataset", "po", "graph dataset (graph algorithms only)")
+	check := flag.Bool("check", false, "extract the DIG from the kernel's Go source and diff it against the registration")
 	flag.Parse()
+
+	if *check {
+		os.Exit(runCheck(*algo, *dataset))
+	}
 
 	ds := *dataset
 	if !workloads.IsGraphAlgo(*algo) {
@@ -61,4 +73,93 @@ func main() {
 		fmt.Println("MISMATCH between manual and derived DIGs")
 		os.Exit(1)
 	}
+}
+
+// runCheck diffs one kernel's source-extracted DIG against its
+// registration; returns the process exit code.
+func runCheck(algo, dataset string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cfg, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fset, kernels, err := frontend.ExtractDir(cfg.Root + "/internal/workloads")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var k *frontend.Kernel
+	for _, cand := range kernels {
+		if cand.Algo == algo {
+			k = cand
+			break
+		}
+	}
+	if k == nil {
+		fmt.Fprintf(os.Stderr, "no kernel %q found in internal/workloads\n", algo)
+		return 1
+	}
+
+	fmt.Printf("=== %s: hand-written registration (%s) ===\n", algo, k.FuncName)
+	for _, n := range k.Registered.Nodes {
+		fmt.Printf("  node %-12s id=%d elem=%dB\n", n.Name, n.ID, n.ElemSize)
+	}
+	for _, e := range k.Registered.Edges {
+		fmt.Printf("  edge %s\n", e)
+	}
+	for _, t := range k.Registered.Triggers {
+		fmt.Printf("  trigger %s\n", t.Name)
+	}
+
+	fmt.Println("\n=== compiler-extracted from kernel source (Fig. 8 analyses) ===")
+	for _, e := range k.Extracted.Edges {
+		fmt.Printf("  edge %s\n", e)
+	}
+	for _, t := range k.Extracted.Triggers {
+		fmt.Printf("  trigger %s\n", t)
+	}
+
+	drifts := k.Drift()
+	if len(drifts) == 0 {
+		fmt.Println("\nMATCH: source extraction agrees with the registration")
+	} else {
+		fmt.Printf("\n%d difference(s):\n", len(drifts))
+		for _, d := range drifts {
+			fmt.Printf("  %s: %s\n", fset.Position(d.Pos), d.Msg)
+		}
+		if k.AllowedDrift {
+			fmt.Printf("allowed: %s\n", k.AllowReason)
+		} else {
+			return 1
+		}
+	}
+
+	// Cross-check against the runtime: bind the lifted IR to the real
+	// memspace layout and compare whole DIGs.
+	ds := dataset
+	if !workloads.IsGraphAlgo(algo) {
+		ds = ""
+	}
+	w, err := workloads.Build(algo, ds, 1, workloads.Options{Scale: graph.ScaleTiny})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	derived, err := k.DeriveDIG(compiler.ArraysFromSpace(w.Space))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if dig.Equal(w.DIG, derived) {
+		fmt.Println("runtime cross-check: derived DIG is identical to the registered one")
+	} else if !k.AllowedDrift {
+		fmt.Println("runtime cross-check: derived DIG DIFFERS from the registered one")
+		return 1
+	}
+	return 0
 }

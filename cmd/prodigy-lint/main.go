@@ -1,0 +1,79 @@
+// Command prodigy-lint runs the repository's static-analysis suite: the
+// simulator-invariant analyzers (determinism, copylock, errcheck) and the
+// compiler-pass cross-check of every workload kernel's DIG registration
+// (dig-drift). See docs/LINT.md.
+//
+// Usage:
+//
+//	prodigy-lint [-list] [pattern ...]
+//
+// Patterns are ./..., ./dir/..., or ./dir, resolved against the module
+// root; the default is ./... . Exits 0 when clean, 1 when diagnostics are
+// reported, 2 on a load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"prodigy/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: prodigy-lint [-list] [pattern ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Println(a.Name())
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	cfg, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fail(err)
+	}
+	dirs, err := lint.ExpandPatterns(cfg.Root, patterns)
+	if err != nil {
+		fail(err)
+	}
+	pkgs, err := lint.Load(cfg, dirs)
+	if err != nil {
+		fail(err)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		// Print paths relative to the working directory, like go vet.
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "prodigy-lint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "prodigy-lint:", err)
+	os.Exit(2)
+}

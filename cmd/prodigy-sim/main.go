@@ -54,7 +54,11 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			defer f.Close()
+			defer func() {
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "closing json log:", err)
+				}
+			}()
 			cfg.JSONLog = f
 		}
 	}

@@ -1,0 +1,398 @@
+package frontend
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"prodigy/internal/compiler"
+)
+
+// intConversions are the conversions the lifter strips from index
+// expressions: they change the static type, never the element index.
+var intConversions = map[string]bool{
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
+	"uintptr": true,
+}
+
+// maxInlineDepth bounds closure inlining (the kernels nest at most one
+// level; a cycle of mutually-calling closures would otherwise loop).
+const maxInlineDepth = 8
+
+// lifter lowers a run closure into compiler IR. Only statements that model
+// memory traffic survive: tg.Load/tg.Store/tg.Atomic calls become IR
+// loads/stores (an Atomic is a read-modify-write; for DIG extraction its
+// address matters, not its kind), for/range statements become IR loops,
+// and calls to build-scope closures are inlined. Everything else —
+// arithmetic, plain Data reads, branches — is register traffic the paper's
+// pass also ignores.
+type lifter struct {
+	allocs   map[string]*compiler.Alloc // array variable name -> IR alloc
+	closures map[string]*ast.FuncLit
+	binds    map[*ast.FuncLit]map[bindKey]string
+	loads    map[*compiler.Var]*compiler.Load // IR var -> load that defined it
+	anon     int
+	depth    int
+	err      error
+}
+
+// bindKey names a `v := X.Data[idx]` binding: the load of array arrVar at
+// normalized index (idx, off) defines v.
+type bindKey struct {
+	arrVar string
+	idx    string
+	off    int64
+}
+
+// scope is one lexical environment: Go identifier -> IR var, plus the
+// Data-read bindings of the enclosing function literal.
+type scope struct {
+	env   map[string]*compiler.Var
+	binds map[bindKey]string
+}
+
+func newLifter(closures map[string]*ast.FuncLit) *lifter {
+	return &lifter{
+		allocs:   map[string]*compiler.Alloc{},
+		closures: closures,
+		binds:    map[*ast.FuncLit]map[bindKey]string{},
+		loads:    map[*compiler.Var]*compiler.Load{},
+	}
+}
+
+func (lf *lifter) fresh(hint string) *compiler.Var {
+	lf.anon++
+	return compiler.NewVar(fmt.Sprintf("%s#%d", hint, lf.anon))
+}
+
+// collectBindings records every `v := X.Data[idx]` assignment of one
+// function literal (nested literals excluded — they have their own pass),
+// so that the tg.Load mirroring that read can name its destination v.
+func (lf *lifter) collectBindings(fl *ast.FuncLit) {
+	m := map[bindKey]string{}
+	lf.binds[fl] = m
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != fl {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for j := range as.Rhs {
+			id, ok := as.Lhs[j].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			arrVar, idx, ok := lf.dataIndex(as.Rhs[j])
+			if !ok {
+				continue
+			}
+			if name, off, ok := normIdx(idx); ok {
+				m[bindKey{arrVar, name, off}] = id.Name
+			}
+		}
+		return true
+	})
+}
+
+// dataIndex matches X.Data[idx] for a known array variable X.
+func (lf *lifter) dataIndex(e ast.Expr) (arrVar string, idx ast.Expr, ok bool) {
+	ie, isIdx := stripConv(e).(*ast.IndexExpr)
+	if !isIdx {
+		return "", nil, false
+	}
+	sel, isSel := ie.X.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "Data" {
+		return "", nil, false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", nil, false
+	}
+	if _, known := lf.allocs[id.Name]; !known {
+		return "", nil, false
+	}
+	return id.Name, ie.Index, true
+}
+
+// normIdx normalizes an index expression to (identifier, constant offset):
+// u -> (u, 0); int(u)+1 -> (u, 1). Reports ok=false for anything else.
+func normIdx(e ast.Expr) (string, int64, bool) {
+	e = stripConv(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name, 0, true
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD && x.Op != token.SUB {
+			return "", 0, false
+		}
+		if lit, ok := intLit(x.Y); ok {
+			if name, off, ok := normIdx(x.X); ok {
+				if x.Op == token.SUB {
+					lit = -lit
+				}
+				return name, off + lit, true
+			}
+		}
+		if x.Op == token.ADD {
+			if lit, ok := intLit(x.X); ok {
+				if name, off, ok := normIdx(x.Y); ok {
+					return name, off + lit, true
+				}
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// stripConv removes parentheses and integer conversions.
+func stripConv(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			id, ok := x.Fun.(*ast.Ident)
+			if !ok || !intConversions[id.Name] || len(x.Args) != 1 {
+				return e
+			}
+			e = x.Args[0]
+		default:
+			return e
+		}
+	}
+}
+
+func intLit(e ast.Expr) (int64, bool) {
+	lit, ok := stripConv(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(lit.Value, 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func (lf *lifter) liftStmts(stmts []ast.Stmt, sc *scope) []compiler.Stmt {
+	var out []compiler.Stmt
+	for _, s := range stmts {
+		out = append(out, lf.liftStmt(s, sc)...)
+	}
+	return out
+}
+
+func (lf *lifter) liftStmt(s ast.Stmt, sc *scope) []compiler.Stmt {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			return lf.liftCall(call, sc)
+		}
+	case *ast.BlockStmt:
+		return lf.liftStmts(st.List, sc)
+	case *ast.IfStmt:
+		// Control flow is flattened: the analyses see every access a branch
+		// can reach, matching the pass's path-insensitive IR walk.
+		out := lf.liftStmts(st.Body.List, sc)
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			out = append(out, lf.liftStmts(e.List, sc)...)
+		case *ast.IfStmt:
+			out = append(out, lf.liftStmt(e, sc)...)
+		}
+		return out
+	case *ast.ForStmt:
+		return lf.liftFor(st, sc)
+	case *ast.RangeStmt:
+		return lf.liftRange(st, sc)
+	}
+	return nil
+}
+
+// liftCall lowers tg.Load/tg.Store/tg.Atomic calls carrying an X.Addr(idx)
+// operand, and inlines calls to build-scope closures.
+func (lf *lifter) liftCall(call *ast.CallExpr, sc *scope) []compiler.Stmt {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		kind := fun.Sel.Name
+		if kind != "Load" && kind != "Store" && kind != "Atomic" {
+			return nil
+		}
+		arrVar, idxExpr, ok := lf.addrArg(call)
+		if !ok {
+			return nil
+		}
+		al := lf.allocs[arrVar]
+		idx := lf.liftExpr(idxExpr, sc)
+		if kind == "Load" {
+			dst := ""
+			if name, off, ok := normIdx(idxExpr); ok {
+				dst = sc.binds[bindKey{arrVar, name, off}]
+			}
+			ld := compiler.NewLoad(al.Arr, idx, dst)
+			if dst != "" {
+				sc.env[dst] = ld.Dst
+			}
+			lf.loads[ld.Dst] = ld
+			return []compiler.Stmt{ld}
+		}
+		return []compiler.Stmt{&compiler.Store{Arr: al.Arr, Idx: idx}}
+	case *ast.Ident:
+		if fl, ok := lf.closures[fun.Name]; ok {
+			return lf.inline(fun.Name, fl, call, sc)
+		}
+	}
+	return nil
+}
+
+// addrArg finds the X.Addr(idx) operand of an emit call, for a known
+// array variable X.
+func (lf *lifter) addrArg(call *ast.CallExpr) (arrVar string, idx ast.Expr, ok bool) {
+	for _, a := range call.Args {
+		c, isCall := a.(*ast.CallExpr)
+		if !isCall || len(c.Args) != 1 {
+			continue
+		}
+		sel, isSel := c.Fun.(*ast.SelectorExpr)
+		if !isSel || sel.Sel.Name != "Addr" {
+			continue
+		}
+		id, isIdent := sel.X.(*ast.Ident)
+		if !isIdent {
+			continue
+		}
+		if _, known := lf.allocs[id.Name]; known {
+			return id.Name, c.Args[0], true
+		}
+	}
+	return "", nil, false
+}
+
+// inline lowers a call to a build-scope closure by lifting its body in a
+// child scope mapping parameters to the caller's argument values.
+func (lf *lifter) inline(name string, fl *ast.FuncLit, call *ast.CallExpr, sc *scope) []compiler.Stmt {
+	if lf.depth >= maxInlineDepth {
+		lf.err = fmt.Errorf("closure %q: inlining exceeds depth %d (recursive closures?)", name, maxInlineDepth)
+		return nil
+	}
+	env := map[string]*compiler.Var{}
+	i := 0
+	for _, f := range fl.Type.Params.List {
+		for _, p := range f.Names {
+			bound := false
+			if i < len(call.Args) {
+				if id, ok := stripConv(call.Args[i]).(*ast.Ident); ok {
+					if v, ok := sc.env[id.Name]; ok {
+						env[p.Name] = v
+						bound = true
+					}
+				}
+			}
+			if !bound {
+				env[p.Name] = lf.fresh(p.Name)
+			}
+			i++
+		}
+	}
+	child := &scope{env: env, binds: lf.binds[fl]}
+	lf.depth++
+	out := lf.liftStmts(fl.Body.List, child)
+	lf.depth--
+	return out
+}
+
+// liftFor lowers `for i := lo; i < hi; i++` to an IR Loop. The bounds
+// become Lower/Upper loads when lo/hi are values produced by earlier
+// tg.Loads — the shape the ranged-indirection analysis keys on. Loops over
+// plain integers (chunk bounds, decrementing sweeps) keep nil bounds.
+func (lf *lifter) liftFor(st *ast.ForStmt, sc *scope) []compiler.Stmt {
+	var loopVar *compiler.Var
+	var lower, upper *compiler.Load
+	if init, ok := st.Init.(*ast.AssignStmt); ok && len(init.Lhs) == 1 && len(init.Rhs) == 1 {
+		if id, ok := init.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			loopVar = compiler.NewVar(id.Name)
+			if src, ok := stripConv(init.Rhs[0]).(*ast.Ident); ok {
+				if v := sc.env[src.Name]; v != nil {
+					lower = lf.loads[v]
+				}
+			}
+			sc.env[id.Name] = loopVar
+		}
+	}
+	if loopVar == nil {
+		loopVar = lf.fresh("loop")
+	}
+	if cond, ok := st.Cond.(*ast.BinaryExpr); ok && (cond.Op == token.LSS || cond.Op == token.LEQ) {
+		if hi, ok := stripConv(cond.Y).(*ast.Ident); ok {
+			if v := sc.env[hi.Name]; v != nil {
+				upper = lf.loads[v]
+			}
+		}
+	}
+	body := lf.liftStmts(st.Body.List, sc)
+	return []compiler.Stmt{&compiler.Loop{Var: loopVar, Lower: lower, Upper: upper, Body: body}}
+}
+
+// liftRange lowers `for k, v := range xs`: the key is the loop variable,
+// the value is element data and must never be mistaken for an index
+// variable, so it gets a fresh non-loop binding.
+func (lf *lifter) liftRange(st *ast.RangeStmt, sc *scope) []compiler.Stmt {
+	var loopVar *compiler.Var
+	if id, ok := st.Key.(*ast.Ident); ok && id.Name != "_" {
+		loopVar = compiler.NewVar(id.Name)
+		sc.env[id.Name] = loopVar
+	} else {
+		loopVar = lf.fresh("range")
+	}
+	if id, ok := st.Value.(*ast.Ident); ok && id.Name != "_" {
+		sc.env[id.Name] = lf.fresh(id.Name)
+	}
+	body := lf.liftStmts(st.Body.List, sc)
+	return []compiler.Stmt{&compiler.Loop{Var: loopVar, Body: body}}
+}
+
+// liftExpr lowers an index expression to an IR Expr (variable + constant
+// offset). Identifiers resolve through the scope; unknown identifiers and
+// unliftable shapes become fresh variables, which the analyses treat as
+// opaque — exactly the paper's behavior for addresses it cannot classify.
+func (lf *lifter) liftExpr(e ast.Expr, sc *scope) compiler.Expr {
+	e = stripConv(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		if x.Name != "_" {
+			if v, ok := sc.env[x.Name]; ok {
+				return compiler.V(v)
+			}
+			v := lf.fresh(x.Name)
+			sc.env[x.Name] = v
+			return compiler.V(v)
+		}
+	case *ast.BasicLit:
+		if v, ok := intLit(x); ok {
+			return compiler.Expr{Off: v}
+		}
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			if lit, ok := intLit(x.Y); ok {
+				base := lf.liftExpr(x.X, sc)
+				if x.Op == token.SUB {
+					lit = -lit
+				}
+				base.Off += lit
+				return base
+			}
+			if x.Op == token.ADD {
+				if lit, ok := intLit(x.X); ok {
+					base := lf.liftExpr(x.Y, sc)
+					base.Off += lit
+					return base
+				}
+			}
+		}
+	}
+	return compiler.V(lf.fresh("expr"))
+}

@@ -235,7 +235,7 @@ func (h *Harness) run(algo, dataset string, scheme Scheme, v runVariant) (*Run, 
 // simulate executes one grid cell (no memoization; called once per cell
 // through run's singleflight entry).
 func (h *Harness) simulate(algo, dataset string, scheme Scheme, v runVariant) (*Run, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow determinism Run.Wall reports host time; simulated cycles never read it
 	cores := h.Cfg.Cores
 	if v.cores > 0 {
 		cores = v.cores
@@ -312,10 +312,11 @@ func (h *Harness) simulate(algo, dataset string, scheme Scheme, v runVariant) (*
 		// resolution still fire deterministically.
 		deadline := start.Add(h.Cfg.RunTimeout)
 		var expired atomic.Bool
+		//lint:allow determinism timeout watchdog; an expired run is reported failed, never mixed into results
 		timer := time.AfterFunc(h.Cfg.RunTimeout, func() { expired.Store(true) })
 		defer timer.Stop()
 		scfg.Interrupt = func() bool {
-			return expired.Load() || time.Now().After(deadline)
+			return expired.Load() || time.Now().After(deadline) //lint:allow determinism timeout watchdog; see above
 		}
 	}
 	run := &Run{Label: w.Label(), Scheme: scheme, W: w}
@@ -336,7 +337,7 @@ func (h *Harness) simulate(algo, dataset string, scheme Scheme, v runVariant) (*
 		}
 	}
 	run.Res = res
-	run.Wall = time.Since(start)
+	run.Wall = time.Since(start) //lint:allow determinism Run.Wall reports host time; simulated cycles never read it
 	h.emitJSON(run, v)
 	return run, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -99,11 +100,12 @@ func (h *Harness) warm(l jobList) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for j := range jobc {
-				start := time.Now()
+				start := time.Now() //lint:allow determinism host wall time feeds the progress meter, not results
 				_, err := h.run(j.algo, j.dataset, j.scheme, j.v)
 				if err != nil {
 					err = fmt.Errorf("%s: %w", j.label(), err)
 				}
+				//lint:allow determinism host wall time feeds the progress meter, not results
 				meter.Done(j.label(), time.Since(start))
 				errc <- err
 			}
@@ -169,7 +171,7 @@ func (h *Harness) startProgress(meter *stats.Meter) (stop func()) {
 	finished := make(chan struct{})
 	go func() {
 		defer close(finished)
-		tick := time.NewTicker(h.Cfg.ProgressInterval)
+		tick := time.NewTicker(h.Cfg.ProgressInterval) //lint:allow determinism progress-report cadence only; output goes to the status writer
 		defer tick.Stop()
 		for {
 			select {
@@ -244,5 +246,7 @@ func (h *Harness) emitJSON(r *Run, v runVariant) {
 	}
 	h.jsonMu.Lock()
 	defer h.jsonMu.Unlock()
-	h.Cfg.JSONLog.Write(append(b, '\n'))
+	if _, err := h.Cfg.JSONLog.Write(append(b, '\n')); err != nil {
+		fmt.Fprintf(os.Stderr, "exp: json log write failed: %v\n", err)
+	}
 }

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// simCriticalDirs are the package basenames whose results must be
+// bit-reproducible across runs and across -parallel settings: everything
+// a simulation's cycle counts or a workload's traffic can depend on.
+var simCriticalDirs = map[string]bool{
+	"sim": true, "cpu": true, "cache": true, "dram": true,
+	"tlb": true, "prefetch": true, "trace": true, "workloads": true,
+}
+
+// wallClockFuncs are the time-package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true, "AfterFunc": true,
+}
+
+// globalRandExempt are the math/rand functions that do not touch the
+// package-global generator.
+var globalRandExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// Determinism flags nondeterminism sources that would make simulation
+// results depend on wall-clock time, process-global random state, or map
+// iteration order. Two scopes apply: wall-clock and global-rand checks
+// cover every internal package (experiment metadata stamped with times is
+// fine only when annotated), while the map-range check covers only the
+// sim-critical packages — map iteration in a CLI's report printer cannot
+// perturb simulated cycle counts.
+type Determinism struct {
+	// WallClock selects the packages checked for wall-clock and global
+	// math/rand use. Nil means every package under <module>/internal/.
+	WallClock func(pkgPath string) bool
+	// MapRange selects the packages checked for map iteration. Nil means
+	// packages whose basename is sim-critical (sim, cpu, cache, dram, tlb,
+	// prefetch, trace, workloads).
+	MapRange func(pkgPath string) bool
+}
+
+// Name implements Analyzer.
+func (Determinism) Name() string { return "determinism" }
+
+// Check implements Analyzer.
+func (d Determinism) Check(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	wallClock := d.WallClock
+	if wallClock == nil {
+		wallClock = func(path string) bool { return strings.Contains(path, "/internal/") }
+	}
+	mapRange := d.MapRange
+	if mapRange == nil {
+		mapRange = func(path string) bool { return simCriticalDirs[pathBase(path)] }
+	}
+	checkClock := wallClock(pkg.Path)
+	checkMaps := mapRange(pkg.Path)
+	if !checkClock && !checkMaps {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if !checkClock {
+					return true
+				}
+				path, name, ok := stdPkgName(pkg, x.Fun)
+				if !ok {
+					return true
+				}
+				switch {
+				case path == "time" && wallClockFuncs[name]:
+					report(x.Pos(), "time.%s reads the wall clock; simulation results must not depend on it", name)
+				case path == "math/rand" && !globalRandExempt[name]:
+					report(x.Pos(), "rand.%s uses the process-global generator; use a seeded *rand.Rand", name)
+				}
+			case *ast.RangeStmt:
+				if !checkMaps {
+					return true
+				}
+				tv, ok := pkg.Info.Types[x.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					report(x.Pos(), "range over map iterates in random order; sort the keys or use a slice")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCheck flags calls whose error result is silently dropped: expression
+// statements (and go/defer statements) invoking a function whose last
+// result is an error. Assigning the error — even to _ — is an explicit
+// decision and is not flagged.
+type ErrCheck struct{}
+
+// Name implements Analyzer.
+func (ErrCheck) Name() string { return "errcheck" }
+
+// errCheckExempt lists callees whose error results are dropped by
+// near-universal convention.
+var errCheckExempt = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*strings.Builder).WriteString": true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+	"(*bytes.Buffer).WriteString":    true,
+}
+
+// Check implements Analyzer.
+func (ErrCheck) Check(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	check := func(call *ast.CallExpr, how string) {
+		tv, ok := pkg.Info.Types[call]
+		if !ok {
+			return
+		}
+		var last types.Type
+		switch t := tv.Type.(type) {
+		case *types.Tuple:
+			if t.Len() == 0 {
+				return
+			}
+			last = t.At(t.Len() - 1).Type()
+		default:
+			last = t
+		}
+		if last == nil || !types.Identical(last, types.Universe.Lookup("error").Type()) {
+			return
+		}
+		name := calleeName(pkg, call)
+		if errCheckExempt[name] {
+			return
+		}
+		if name == "" {
+			name = "call"
+		}
+		report(call.Pos(), "%s result of %s is discarded; handle or explicitly ignore the error", how, name)
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					check(call, "error")
+				}
+			case *ast.GoStmt:
+				check(x.Call, "error")
+			case *ast.DeferStmt:
+				check(x.Call, "deferred error")
+			}
+			return true
+		})
+	}
+}
+
+// calleeName returns the called function's full name
+// (fmt.Println, (*strings.Builder).WriteString), or "".
+func calleeName(pkg *Package, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}

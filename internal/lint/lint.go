@@ -1,0 +1,170 @@
+// Package lint is a stdlib-only static-analysis driver enforcing the
+// simulator's invariants: determinism of sim-critical packages, no
+// by-value copies of lock-bearing structs, no silently dropped errors,
+// and — through the compiler frontend — agreement between each workload
+// kernel's hand-written DIG registration and the DIG the paper's compiler
+// pass derives from its loop nests. See docs/LINT.md.
+//
+// Intentional violations are suppressed with an allow directive on the
+// offending line or the line directly above it:
+//
+//	//lint:allow <analyzer>[,<analyzer>] <reason>
+//
+// A directive without a reason is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer inspects one type-checked package and reports findings.
+type Analyzer interface {
+	// Name is the identifier used in diagnostics and allow directives.
+	Name() string
+	// Check appends the analyzer's diagnostics for pkg.
+	Check(pkg *Package, report func(pos token.Pos, format string, args ...any))
+}
+
+// All returns the full analyzer suite with default scoping.
+func All() []Analyzer {
+	return []Analyzer{
+		Determinism{},
+		CopyLock{},
+		ErrCheck{},
+		DIGCheck{},
+	}
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// diagnostics sorted by position. Findings matched by an allow directive
+// for the reporting analyzer are dropped; malformed directives are
+// reported under the "lint" analyzer.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows, bad := collectAllows(pkg)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			name := a.Name()
+			a.Check(pkg, func(pos token.Pos, format string, args ...any) {
+				p := pkg.Fset.Position(pos)
+				if allows.match(name, p) {
+					return
+				}
+				out = append(out, Diagnostic{Pos: p, Analyzer: name, Message: fmt.Sprintf(format, args...)})
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// allowIndex records allow directives by file, line, and analyzer name. A
+// directive covers its own line and the line directly below it (for
+// directives written as standalone comments above the offending line).
+type allowIndex map[string]map[int]map[string]bool
+
+func (ai allowIndex) match(analyzer string, p token.Position) bool {
+	lines := ai[p.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[p.Line][analyzer] || lines[p.Line-1][analyzer]
+}
+
+const allowPrefix = "lint:allow"
+
+// collectAllows scans every comment of the package for allow directives.
+func collectAllows(pkg *Package) (allowIndex, []Diagnostic) {
+	idx := allowIndex{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				rest = strings.TrimSpace(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "lint",
+						Message: "allow directive names no analyzer"})
+					continue
+				}
+				if len(fields) == 1 {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "lint",
+						Message: fmt.Sprintf("allow directive for %q gives no reason", fields[0])})
+				}
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					idx[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					lines[pos.Line] = names
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					names[name] = true
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// stdPkgName resolves a qualified call like time.Now: it returns the
+// package path and function name when fun is a selector on an imported
+// package, or ok=false.
+func stdPkgName(pkg *Package, fun ast.Expr) (pkgPath, name string, ok bool) {
+	sel, isSel := fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := pkg.Info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

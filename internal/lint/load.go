@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config locates the module being linted.
+type Config struct {
+	// Root is the module root directory (the one holding go.mod).
+	Root string
+	// Module is the module path ("prodigy").
+	Module string
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Fset resolves positions for every file of the run (shared).
+	Fset *token.FileSet
+	// Files are the package's non-test syntax trees, comments included.
+	Files []*ast.File
+	// Types is the type-checked package, Info its recorded uses,
+	// selections, and expression types.
+	Types *types.Package
+	// Info holds the type-checker's recorded facts for Files.
+	Info *types.Info
+}
+
+// loader type-checks module packages with the standard library resolved
+// through the compiler's source importer, without invoking `go build`.
+// It implements types.Importer so module-internal imports recurse.
+type loader struct {
+	cfg   Config
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*Package
+}
+
+func newLoader(cfg Config) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		cfg:   cfg,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: map[string]*Package{},
+	}
+}
+
+// Import resolves one import path: module packages are parsed and checked
+// recursively, everything else is delegated to the source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.cache[path]; ok {
+		return p.Types, nil
+	}
+	if path != l.cfg.Module && !strings.HasPrefix(path, l.cfg.Module+"/") {
+		return l.std.Import(path)
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.cfg.Module), "/")
+	p, err := l.load(path, filepath.Join(l.cfg.Root, filepath.FromSlash(rel)))
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// load parses and type-checks the package in dir.
+func (l *loader) load(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.cache[path] = p
+	return p, nil
+}
+
+// Load type-checks the module packages in the given directories (relative
+// to or under cfg.Root) and returns them in argument order.
+func Load(cfg Config, dirs []string) ([]*Package, error) {
+	l := newLoader(cfg)
+	var out []*Package
+	for _, dir := range dirs {
+		abs := dir
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cfg.Root, dir)
+		}
+		rel, err := filepath.Rel(cfg.Root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("package directory %s is outside module root %s", dir, cfg.Root)
+		}
+		path := cfg.Module
+		if rel != "." {
+			path = cfg.Module + "/" + filepath.ToSlash(rel)
+		}
+		if p, ok := l.cache[path]; ok {
+			out = append(out, p)
+			continue
+		}
+		p, err := l.load(path, abs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ExpandPatterns resolves package patterns against the module root:
+// "./..." (everything), "./x/..." (subtree), or "./x" (one directory).
+// Directories named testdata, hidden directories, and directories without
+// non-test Go files are skipped, matching the go tool's pattern rules.
+func ExpandPatterns(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if pat == "..." || pat == "./..." {
+			pat, recursive = ".", true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" {
+			pat = "."
+		}
+		base := filepath.Join(root, filepath.FromSlash(pat))
+		if !recursive {
+			ok, err := hasGoFiles(base)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("no Go files in %s", base)
+			}
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			ok, err := hasGoFiles(path)
+			if err != nil {
+				return err
+			}
+			if ok {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest go.mod and returns the
+// module root and module path.
+func FindModuleRoot(dir string) (Config, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return Config{}, err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return Config{Root: abs, Module: strings.TrimSpace(rest)}, nil
+				}
+			}
+			return Config{}, fmt.Errorf("go.mod in %s has no module directive", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return Config{}, fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

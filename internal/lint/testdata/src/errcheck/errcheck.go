@@ -1,0 +1,26 @@
+// Package errcheck is a lint fixture: error results dropped in statement
+// position, next to the accepted ways of handling or ignoring them.
+package errcheck
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Emit drops errors three ways and handles them three ways.
+func Emit(f *os.File) string {
+	f.Sync()        // want errcheck
+	go f.Sync()     // want errcheck
+	defer f.Close() // want errcheck
+
+	fmt.Println("ok") // exempt by convention
+	var sb strings.Builder
+	sb.WriteString("ok") // exempt by convention
+
+	_ = f.Sync() // explicit ignore is a decision, not a drop
+	if err := f.Sync(); err != nil {
+		fmt.Println(err)
+	}
+	return sb.String()
+}

@@ -1,0 +1,33 @@
+// Package sim is a lint fixture: a fake sim-critical package seeded with
+// determinism violations. The `// want <analyzer>` markers are consumed
+// by the golden-diagnostics test.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+var epoch = time.Unix(0, 0)
+
+// Tick mixes nondeterminism into a "cycle count" three different ways.
+func Tick(cycles map[string]uint64) uint64 {
+	var sum uint64
+	for _, c := range cycles { // want determinism
+		sum += c
+	}
+	sum += uint64(time.Now().UnixNano()) // want determinism
+	sum += uint64(rand.Int63())          // want determinism
+	return sum
+}
+
+// Jitter is clean: a locally seeded generator, plus a wall-clock read that
+// is annotated away on purpose.
+func Jitter() int64 {
+	r := rand.New(rand.NewSource(42))
+	d := time.Since(epoch) //lint:allow determinism fixture: intentionally suppressed
+	return r.Int63() + int64(d)
+}
+
+//lint:allow nofix
+var noReason = 0 // the directive above has no reason and is itself reported

@@ -48,6 +48,8 @@ const bcNumSources = 2
 // makes the prefetches evict each other before use. The paper notes the
 // two DIG sources "can complement each other, thus improving the overall
 // accuracy" — this is that refinement.
+//
+//lint:allow dig-drift annotation intentionally keeps 4 of the 8 compiler-derived edges (see above)
 func buildBC(dataset string, cores int, opts Options) (*Workload, error) {
 	g, err := loadGraph(dataset, "undir", opts)
 	if err != nil {

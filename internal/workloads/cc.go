@@ -113,6 +113,7 @@ func buildCC(dataset string, cores int, opts Options) (*Workload, error) {
 		}
 		// Distinct components must have distinct labels.
 		labels := map[uint32]bool{}
+		//lint:allow determinism verify-only duplicate check; any visit order finds the same duplicates
 		for _, l := range seen {
 			if labels[l] {
 				return fmt.Errorf("cc: two components share label %d", l)

@@ -78,7 +78,7 @@ func genRandomSPD(n, nnzPerRow int, seed uint64) *sparseMatrix {
 		// Diagonal dominance keeps CG convergent.
 		var sum float32
 		var es []entry
-		for j, v := range rows[i] {
+		for j, v := range rows[i] { //lint:allow determinism entries are insertion-sorted by column right below
 			es = append(es, entry{j, v})
 			sum += v
 		}
