@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint fmt test race bench tables
+.PHONY: check build vet lint fmt test race bench tables trace-demo
 
 check: build vet lint race
 
@@ -38,3 +38,10 @@ bench:
 # Regenerate every paper table/figure at paper scale (slow).
 tables:
 	$(GO) run ./cmd/prodigy-bench
+
+# Produce a small BFS timeline + interval metrics to inspect in
+# chrome://tracing or https://ui.perfetto.dev (docs/OBSERVABILITY.md).
+trace-demo:
+	$(GO) run ./cmd/prodigy-sim -tiny -algo bfs -dataset po -scheme prodigy \
+		-cores 2 -trace trace-demo.json -metrics trace-demo.jsonl
+	@echo "wrote trace-demo.json (open in chrome://tracing) and trace-demo.jsonl"

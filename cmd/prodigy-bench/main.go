@@ -13,12 +13,20 @@
 // reported to stderr every -progress interval, and -json writes one JSON
 // summary line per simulation for trend tracking. See the "Running
 // experiments in parallel" section of EXPERIMENTS.md.
+//
+// Host-side profiling (docs/OBSERVABILITY.md): -cpuprofile writes a pprof
+// CPU profile of the whole bench run, and -pprof serves net/http/pprof on
+// the given address (e.g. localhost:6060) for live inspection of a long
+// sweep.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,7 +44,35 @@ func main() {
 	progress := flag.Duration("progress", 5*time.Second, "progress report interval on stderr (0 disables)")
 	jsonPath := flag.String("json", "", "append per-run JSON summary lines to this file (\"-\" = stdout)")
 	timeout := flag.Duration("run-timeout", 0, "wall-clock budget per simulation (0 = no limit)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// The default mux carries the pprof handlers via the blank import.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof server:", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpu profile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "closing cpu profile:", err)
+			}
+		}()
+	}
 
 	cfg := exp.Default()
 	if *quick {

@@ -9,17 +9,26 @@
 // grid runs on -j concurrent workers (default GOMAXPROCS) and reports in
 // deterministic grid order. -json appends one machine-readable summary
 // line per simulation.
+//
+// Observability (see docs/OBSERVABILITY.md): -trace writes a Chrome
+// trace-event timeline per run (open in chrome://tracing or Perfetto),
+// -metrics writes interval metrics JSONL, and -interval sets the sampling
+// interval in simulated cycles. When the grid has more than one cell the
+// cell name is spliced into each output filename (out.json →
+// out.bfs-po.prodigy.json).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"prodigy/internal/core"
 	"prodigy/internal/cpu"
 	"prodigy/internal/exp"
+	"prodigy/internal/obs"
 	"prodigy/internal/stats"
 	"prodigy/internal/workloads"
 )
@@ -33,6 +42,9 @@ func main() {
 	verify := flag.Bool("verify", true, "verify the workload output")
 	workers := flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	jsonPath := flag.String("json", "", "append per-run JSON summary lines to this file (\"-\" = stdout)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline (catapult JSON) to this file")
+	metricsPath := flag.String("metrics", "", "write interval metrics JSONL to this file")
+	interval := flag.Int64("interval", obs.DefaultInterval, "metrics sampling interval in simulated cycles")
 	flag.Parse()
 
 	cfg := exp.Default()
@@ -62,7 +74,6 @@ func main() {
 			cfg.JSONLog = f
 		}
 	}
-	h := exp.New(cfg)
 
 	// Build the requested grid; RunGrid fans it out across -j workers and
 	// returns results in grid order.
@@ -78,6 +89,17 @@ func main() {
 			}
 		}
 	}
+
+	if *tracePath != "" || *metricsPath != "" {
+		single := len(cells) == 1
+		itv := *interval
+		cfg.Obs = func(cell string) (*obs.Recorder, func() error, error) {
+			return obs.OpenFiles(cellPath(*tracePath, cell, single),
+				cellPath(*metricsPath, cell, single), itv)
+		}
+	}
+	h := exp.New(cfg)
+
 	runs, err := h.RunGrid(cells)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -89,6 +111,17 @@ func main() {
 		}
 		report(run, cfg)
 	}
+}
+
+// cellPath derives the per-cell output filename. A single-cell grid keeps
+// the path as given; larger grids splice the cell name before the
+// extension so concurrent runs never share a file.
+func cellPath(path, cell string, single bool) string {
+	if path == "" || single {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + cell + ext
 }
 
 // report prints the full human-readable statistics for one run.

@@ -8,7 +8,11 @@
 // internal/memspace); the hierarchy tracks tags, states, and timing.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"prodigy/internal/obs"
+)
 
 // MESI line states.
 const (
@@ -205,6 +209,34 @@ type Hierarchy struct {
 	// OnL3Evict, when set, is called with the evicted line address
 	// (used by DROPLET-style prefetchers that watch DRAM traffic).
 	OnL3Evict func(lineAddr uint64)
+
+	// Interval-metrics hooks (inert when obs is nil).
+	obs        *obs.Recorder
+	obsAccess  obs.CounterID
+	obsL1Hit   obs.CounterID
+	obsL2Hit   obs.CounterID
+	obsL3Hit   obs.CounterID
+	obsMem     obs.CounterID
+	obsPFFill  obs.CounterID
+	obsWriteBk obs.CounterID
+}
+
+// Attach registers the hierarchy's observability counters: demand
+// accesses and per-level hits (from which per-interval L1/L2/LLC miss
+// rates follow), hierarchy misses, prefetch fills, and writebacks. Safe
+// to call with a nil recorder.
+func (h *Hierarchy) Attach(r *obs.Recorder) {
+	if r == nil {
+		return
+	}
+	h.obs = r
+	h.obsAccess = r.Counter("cache.demand")
+	h.obsL1Hit = r.Counter("cache.l1_hit")
+	h.obsL2Hit = r.Counter("cache.l2_hit")
+	h.obsL3Hit = r.Counter("cache.l3_hit")
+	h.obsMem = r.Counter("cache.mem")
+	h.obsPFFill = r.Counter("cache.pf_fill")
+	h.obsWriteBk = r.Counter("cache.writeback")
 }
 
 // New builds a hierarchy from cfg.
@@ -246,6 +278,7 @@ type Result struct {
 func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 	la := h.LineAddr(addr)
 	h.Stats.DemandAccesses++
+	h.obs.Add(h.obsAccess, 1)
 
 	// L1.
 	if w := h.l1[core].lookup(la); w >= 0 {
@@ -259,6 +292,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 		}
 		ln.used = true
 		h.Stats.DemandL1Hits++
+		h.obs.Add(h.obsL1Hit, 1)
 		if write && ln.state != stModified {
 			h.upgrade(core, la)
 		}
@@ -279,6 +313,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 		st := ln.state
 		h.fillL1(core, la, st, ln.prefetched, true)
 		h.Stats.DemandL2Hits++
+		h.obs.Add(h.obsL2Hit, 1)
 		if write && st != stModified {
 			h.upgrade(core, la)
 		}
@@ -300,11 +335,13 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 		h.fillPrivate(core, la, state, ln.prefetched, true)
 		*sh |= 1 << uint(core)
 		h.Stats.DemandL3Hits++
+		h.obs.Add(h.obsL3Hit, 1)
 		return res
 	}
 
 	// DRAM.
 	h.Stats.DemandMem++
+	h.obs.Add(h.obsMem, 1)
 	state := uint8(stExclusive)
 	if write {
 		state = stModified
@@ -326,9 +363,11 @@ func (h *Hierarchy) serviceFromL3(core int, la uint64, sh *uint64, write bool) u
 			}
 			if st, ok := h.l1[c].invalidate(la); ok && st == stModified {
 				h.Stats.Writebacks++
+				h.obs.Add(h.obsWriteBk, 1)
 			}
 			if st, ok := h.l2[c].invalidate(la); ok && st == stModified {
 				h.Stats.Writebacks++
+				h.obs.Add(h.obsWriteBk, 1)
 			}
 			h.Stats.Invalidations++
 		}
@@ -349,6 +388,7 @@ func (h *Hierarchy) serviceFromL3(core int, la uint64, sh *uint64, write bool) u
 				if ln.state == stModified || ln.state == stExclusive {
 					if ln.state == stModified {
 						h.Stats.Writebacks++
+						h.obs.Add(h.obsWriteBk, 1)
 					}
 					ln.state = stShared
 				}
@@ -464,6 +504,7 @@ func (h *Hierarchy) evictL3(victimAddr uint64, w int) {
 	}
 	if dirty {
 		h.Stats.Writebacks++
+		h.obs.Add(h.obsWriteBk, 1)
 	}
 	if ln.prefetched && !ln.used {
 		h.Stats.PrefetchEvicted++
@@ -512,6 +553,7 @@ func (h *Hierarchy) FillPrefetchL2(core int, addr uint64, fromLevel Level) {
 func (h *Hierarchy) fillPrefetchAt(core int, addr uint64, fromLevel Level, l2Only bool) {
 	la := h.LineAddr(addr)
 	h.Stats.PrefetchFills++
+	h.obs.Add(h.obsPFFill, 1)
 	if fromLevel == LvlMem {
 		h.fillL3(core, la, false, true)
 	} else if w := h.l3.lookup(la); w >= 0 {

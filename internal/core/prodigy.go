@@ -18,8 +18,11 @@
 package core
 
 import (
+	"strconv"
+
 	"prodigy/internal/cache"
 	"prodigy/internal/dig"
+	"prodigy/internal/obs"
 	"prodigy/internal/prefetch"
 )
 
@@ -68,7 +71,7 @@ type pfhr struct {
 	trigAddr uint64 // sequence identity: the trigger element's address
 	lineAddr uint64 // outstanding prefetch line
 	bitmap   uint64 // element offsets within the line still to process
-	gen      uint32 // reuse guard for in-flight fills
+	gen      uint16 // reuse guard for in-flight fills
 }
 
 // trigState is the per-trigger-node progress the prefetcher keeps so
@@ -98,6 +101,11 @@ type Prodigy struct {
 	paused bool
 	// Stats is exported for the experiment harness.
 	Stats Stats
+
+	// Interval-metrics counter IDs (inert when env.Obs is nil).
+	obsSeqStarted obs.CounterID
+	obsSeqDropped obs.CounterID
+	obsPFHRFull   obs.CounterID
 }
 
 // New returns a prefetch.Factory that programs each core's Prodigy
@@ -113,6 +121,9 @@ func New(d *dig.DIG, cfg Config) prefetch.Factory {
 func NewPrefetcher(env prefetch.Env, d *dig.DIG, cfg Config) *Prodigy {
 	if cfg.PFHREntries <= 0 {
 		cfg.PFHREntries = 16
+	}
+	if cfg.PFHREntries > maxPFHREntries {
+		cfg.PFHREntries = maxPFHREntries
 	}
 	if cfg.MaxRangedLines <= 0 {
 		cfg.MaxRangedLines = 64
@@ -130,6 +141,14 @@ func NewPrefetcher(env prefetch.Env, d *dig.DIG, cfg Config) *Prodigy {
 	for _, id := range d.TriggerNodes() {
 		p.trig[id] = &trigState{lastDemandIdx: -1}
 	}
+	// PFHR occupancy and sequence counters for the interval metrics.
+	// Counters are shared across cores (deduped by name); the occupancy
+	// gauge is per core.
+	p.obsSeqStarted = env.Obs.Counter("prodigy.seq_started")
+	p.obsSeqDropped = env.Obs.Counter("prodigy.seq_dropped")
+	p.obsPFHRFull = env.Obs.Counter("prodigy.pfhr_full")
+	env.Obs.GaugeFunc("prodigy.pfhr_free.c"+strconv.Itoa(env.Core),
+		func(int64) float64 { return float64(p.FreePFHRs()) })
 	return p
 }
 
@@ -264,6 +283,8 @@ func (p *Prodigy) rangedOnly() bool { return p.oneStep }
 // trigger node: the first request fetches the trigger data itself.
 func (p *Prodigy) startSequence(n *dig.Node, seqIdx uint64) {
 	p.Stats.SeqStarted++
+	p.env.Obs.Add(p.obsSeqStarted, 1)
+	p.env.Obs.Instant(p.env.Core, "seq-start", "prodigy")
 	elemAddr := n.ElemAddr(seqIdx)
 	p.Stats.IssuedTrigger++
 	p.requestElems(n, elemAddr, elemAddr, 1, 0, kindTrigger)
@@ -292,6 +313,8 @@ func (p *Prodigy) dropSequence(trigAddr uint64) {
 	}
 	if dropped {
 		p.Stats.SeqDropped++
+		p.env.Obs.Add(p.obsSeqDropped, 1)
+		p.env.Obs.Instant(p.env.Core, "seq-drop", "prodigy")
 	}
 }
 
@@ -389,6 +412,7 @@ func (p *Prodigy) requestLine(n *dig.Node, trigAddr, lineAddr uint64, bitmap uin
 	}
 	if idx < 0 {
 		p.Stats.PFHRFull++
+		p.env.Obs.Add(p.obsPFHRFull, 1)
 		return
 	}
 	r := &p.regs[idx]
@@ -404,12 +428,26 @@ func (p *Prodigy) requestLine(n *dig.Node, trigAddr, lineAddr uint64, bitmap uin
 		r.free = true
 		r.gen++
 		p.Stats.PFHRFull++
+		p.env.Obs.Add(p.obsPFHRFull, 1)
 	}
 }
 
-// meta packs a PFHR index and its generation into the issue metadata.
+// maxPFHREntries caps the PFHR file at what the fill metadata can
+// address: the index gets 16 bits, but an index of 0xFFFF together with
+// an all-ones generation would collide with prefetch.UntrackedMeta, so
+// the file is limited to 1<<15 entries (far beyond Fig. 12's 4–32 range).
+const maxPFHREntries = 1 << 15
+
+// meta packs a PFHR index (low 16 bits) and its generation (high 16
+// bits) into the issue metadata.
 func (p *Prodigy) meta(idx int) uint32 {
-	return uint32(idx) | p.regs[idx].gen<<8
+	return uint32(idx) | uint32(p.regs[idx].gen)<<16
+}
+
+// unpackMeta splits fill metadata back into the PFHR index and
+// generation.
+func unpackMeta(meta uint32) (idx int, gen uint16) {
+	return int(meta & 0xFFFF), uint16(meta >> 16)
 }
 
 // OnFill receives a completed prefetch. Untracked (leaf) fills are
@@ -421,15 +459,14 @@ func (p *Prodigy) OnFill(now int64, addr uint64, meta uint32, level cache.Level)
 	if p.paused {
 		// Fills arriving while descheduled retire their PFHRs without
 		// walking further.
-		idx := int(meta & 0xFF)
-		if idx < len(p.regs) && !p.regs[idx].free && p.regs[idx].gen == meta>>8 {
+		idx, gen := unpackMeta(meta)
+		if idx < len(p.regs) && !p.regs[idx].free && p.regs[idx].gen == gen {
 			p.regs[idx].free = true
 			p.regs[idx].gen++
 		}
 		return
 	}
-	idx := int(meta & 0xFF)
-	gen := meta >> 8
+	idx, gen := unpackMeta(meta)
 	if idx >= len(p.regs) {
 		return
 	}

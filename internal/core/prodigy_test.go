@@ -415,6 +415,57 @@ func TestStatsRangedVsSingleFractions(t *testing.T) {
 	}
 }
 
+// TestPFHRMetaPackingWideIndex is the regression test for the 8-bit meta
+// packing: with more than 256 PFHRs, index bits used to alias into the
+// generation field and fills were routed to the wrong register. The
+// packing is now 16-bit index / 16-bit generation.
+func TestPFHRMetaPackingWideIndex(t *testing.T) {
+	st := newBFSSetup(t, Config{PFHREntries: 300, MaxRangedLines: 64},
+		dig.TriggerConfig{Lookahead: 1, NumSeqs: 1})
+	p := st.p
+	if len(p.regs) != 300 {
+		t.Fatalf("PFHR file size = %d, want 300", len(p.regs))
+	}
+	// Occupy a register above the old 8-bit index range and round-trip
+	// its metadata. Pre-fix, idx 260 packed to 260&0xFF = 4.
+	const idx = 260
+	n := p.d.NodeContaining(st.workQ.Addr(0))
+	p.regs[idx].free = false
+	p.regs[idx].gen = 5
+	p.regs[idx].node = n.ID
+	p.regs[idx].lineAddr = st.workQ.Addr(0) / 64 * 64
+	p.regs[idx].bitmap = 1
+	meta := p.meta(idx)
+	gotIdx, gotGen := unpackMeta(meta)
+	if gotIdx != idx || gotGen != 5 {
+		t.Fatalf("meta round-trip = (%d, %d), want (%d, 5)", gotIdx, gotGen, idx)
+	}
+	if meta == prefetch.UntrackedMeta {
+		t.Fatal("packed meta collides with UntrackedMeta")
+	}
+	// The fill must retire exactly register 260.
+	p.OnFill(0, p.regs[idx].lineAddr, meta, cache.LvlMem)
+	if !p.regs[idx].free {
+		t.Fatal("fill did not retire the high-index PFHR")
+	}
+}
+
+// TestPFHREntriesClamped pins the oversized-config guard: the index field
+// has 16 bits, but 0xFFFF plus an all-ones generation would collide with
+// prefetch.UntrackedMeta, so the file is clamped to 1<<15 entries.
+func TestPFHREntriesClamped(t *testing.T) {
+	st := newBFSSetup(t, Config{PFHREntries: 1 << 20, MaxRangedLines: 64},
+		dig.TriggerConfig{Lookahead: 1, NumSeqs: 1})
+	if len(st.p.regs) != maxPFHREntries {
+		t.Fatalf("PFHR file size = %d, want clamp at %d", len(st.p.regs), maxPFHREntries)
+	}
+	// Even the top register's metadata must stay distinguishable.
+	st.p.regs[maxPFHREntries-1].gen = 0xFFFF
+	if st.p.meta(maxPFHREntries-1) == prefetch.UntrackedMeta {
+		t.Fatal("top register metadata collides with UntrackedMeta")
+	}
+}
+
 func TestPauseResumeOSIntegration(t *testing.T) {
 	// Section IV-F: prefetching pauses on thread descheduling; the DIG
 	// tables and trigger progress survive, and prefetching resumes.

@@ -15,6 +15,7 @@ package cpu
 
 import (
 	"prodigy/internal/cache"
+	"prodigy/internal/obs"
 	"prodigy/internal/trace"
 )
 
@@ -133,6 +134,11 @@ type Core struct {
 	lastTime     int64
 	pendingClass StallKind
 
+	// obsRec mirrors every stall attribution into the observability layer
+	// (nil when disabled; the hook is then a single branch).
+	obsRec *obs.Recorder
+	obsID  int
+
 	// Stack is the core's CPI accounting.
 	Stack CPIStack
 	// Branches / Mispredicts count predictor performance.
@@ -154,6 +160,13 @@ func New(cfg Config, reader *trace.Reader, mem MemAccess, softPF SoftPF) *Core {
 	}
 }
 
+// AttachObs routes the core's per-cycle stall attribution to r as core
+// coreID (interval CPI-stack slices and timeline spans). Call before the
+// first Step; a nil recorder leaves the core uninstrumented.
+func (c *Core) AttachObs(r *obs.Recorder, coreID int) {
+	c.obsRec, c.obsID = r, coreID
+}
+
 // Done reports whether the core has retired its whole stream.
 func (c *Core) Done() bool { return c.done }
 
@@ -173,6 +186,7 @@ const farFuture = int64(1) << 62
 func (c *Core) Step(now int64) int64 {
 	if delta := now - c.lastTime; delta > 0 {
 		c.Stack.Cycles[c.pendingClass] += delta
+		c.obsRec.StallSpan(c.obsID, int(c.pendingClass), c.lastTime, now)
 		c.lastTime = now
 	}
 	if c.done {
@@ -341,6 +355,7 @@ func (c *Core) predict(pc uint32, taken bool) bool {
 func (c *Core) FinishAt(end int64) {
 	if delta := end - c.lastTime; delta > 0 {
 		c.Stack.Cycles[c.pendingClass] += delta
+		c.obsRec.StallSpan(c.obsID, int(c.pendingClass), c.lastTime, end)
 		c.lastTime = end
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"prodigy/internal/dram"
 	"prodigy/internal/energy"
 	"prodigy/internal/graph"
+	"prodigy/internal/obs"
 	"prodigy/internal/prefetch"
 	"prodigy/internal/sim"
 	"prodigy/internal/tlb"
@@ -88,7 +89,14 @@ type Config struct {
 	// JSONLog, when non-nil, receives one JSON object per line for every
 	// simulation executed (cycles, CPI stack, wall time, ...) for
 	// machine-readable trend tracking. Cached replays are not re-emitted.
+	// Aborted runs are also logged, tagged with which guard killed them
+	// (timeout, max-cycles, deadlock).
 	JSONLog io.Writer
+	// Obs, when non-nil, builds a per-run observability recorder (see
+	// internal/obs) keyed by the run's "label/scheme" cell name. The
+	// returned close function is called after the run; its error fails
+	// the run. Return a nil recorder to skip instrumentation for a cell.
+	Obs func(cell string) (*obs.Recorder, func() error, error)
 }
 
 // Default returns the paper configuration at benchmark scale.
@@ -327,9 +335,28 @@ func (h *Harness) simulate(algo, dataset string, scheme Scheme, v runVariant) (*
 		}
 	}
 
+	closeObs := func() error { return nil }
+	if h.Cfg.Obs != nil {
+		rec, closer, oerr := h.Cfg.Obs(w.Label() + "." + string(scheme))
+		if oerr != nil {
+			return nil, fmt.Errorf("exp: %s/%s: observability setup: %w", w.Label(), scheme, oerr)
+		}
+		scfg.Obs = rec
+		if closer != nil {
+			closeObs = closer
+		}
+	}
+
 	res, err := sim.Run(scfg, w.Space, trace.NewGen(cores, h.Cfg.MaxBuffered), w.Run)
+	cerr := closeObs()
 	if err != nil {
-		return nil, fmt.Errorf("exp: %s/%s: %w", w.Label(), scheme, err)
+		err = fmt.Errorf("exp: %s/%s: %w", w.Label(), scheme, err)
+		//lint:allow determinism aborted-run wall time feeds the JSONL record, not results
+		h.emitAbort(w.Label(), scheme, v, err, time.Since(start))
+		return nil, err
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("exp: %s/%s: observability export: %w", w.Label(), scheme, cerr)
 	}
 	if h.Cfg.Verify {
 		if err := w.Verify(); err != nil {

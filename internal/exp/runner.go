@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"prodigy/internal/cpu"
+	"prodigy/internal/sim"
 	"prodigy/internal/stats"
 )
 
@@ -210,6 +211,29 @@ type RunSummary struct {
 	DRAMUtilization float64 `json:"dram_util"`
 	// WallMS is host wall-clock milliseconds the simulation took.
 	WallMS float64 `json:"wall_ms"`
+	// Abort names the guard that killed an unsuccessful run ("timeout",
+	// "max-cycles", "deadlock", or "error"); empty for completed runs.
+	Abort string `json:"abort,omitempty"`
+	// Error carries the failure message for aborted runs.
+	Error string `json:"error,omitempty"`
+}
+
+// abortKind classifies a simulation failure for the JSONL record. The
+// typed sentinels from internal/sim survive the exp error wrapping, so a
+// sweep log distinguishes a wall-clock timeout from a runaway simulation
+// hitting MaxCycles or a scheduler deadlock.
+func abortKind(err error) string {
+	switch {
+	case errors.Is(err, sim.ErrInterrupted):
+		// The only Interrupt source exp installs is the RunTimeout watchdog.
+		return "timeout"
+	case errors.Is(err, sim.ErrMaxCycles):
+		return "max-cycles"
+	case errors.Is(err, sim.ErrDeadlock):
+		return "deadlock"
+	default:
+		return "error"
+	}
 }
 
 // summarize builds the JSON record for a completed run.
@@ -237,10 +261,31 @@ func summarize(r *Run, v runVariant) RunSummary {
 
 // emitJSON writes the run's summary line to Config.JSONLog, if set.
 func (h *Harness) emitJSON(r *Run, v runVariant) {
+	h.writeJSON(summarize(r, v))
+}
+
+// emitAbort logs a failed run to Config.JSONLog so a sweep record shows
+// which cells died and why, not just which completed.
+func (h *Harness) emitAbort(label string, scheme Scheme, v runVariant, runErr error, wall time.Duration) {
+	s := RunSummary{
+		Label:  label,
+		Scheme: string(scheme),
+		WallMS: float64(wall.Microseconds()) / 1e3,
+		Abort:  abortKind(runErr),
+		Error:  runErr.Error(),
+	}
+	if v != (runVariant{}) {
+		s.Variant = fmt.Sprintf("%+v", v)
+	}
+	h.writeJSON(s)
+}
+
+// writeJSON serializes one summary line under the log mutex.
+func (h *Harness) writeJSON(s RunSummary) {
 	if h.Cfg.JSONLog == nil {
 		return
 	}
-	b, err := json.Marshal(summarize(r, v))
+	b, err := json.Marshal(s)
 	if err != nil {
 		return
 	}

@@ -3,10 +3,13 @@ package exp
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"prodigy/internal/sim"
 )
 
 // goldenCfg returns a reduced quick configuration for parallel-vs-serial
@@ -153,14 +156,34 @@ func TestPanicBecomesTaggedError(t *testing.T) {
 }
 
 // TestRunTimeoutAborts checks the wall-clock guard converts an
-// over-budget run into a tagged error with MaxCycles-style semantics.
+// over-budget run into a tagged error with MaxCycles-style semantics: the
+// typed sentinel survives the exp wrapping (so callers can tell a timeout
+// from a generic failure) and the JSONL record names the abort cause.
 func TestRunTimeoutAborts(t *testing.T) {
+	var jsonl bytes.Buffer
 	cfg := goldenCfg(1)
 	cfg.RunTimeout = time.Nanosecond // already expired at the first poll
+	cfg.JSONLog = &jsonl
 	h := New(cfg)
 	_, err := h.RunOne("bfs", "po", SchemeNone)
 	if err == nil || !strings.Contains(err.Error(), "interrupted") {
 		t.Fatalf("expected interrupt error, got %v", err)
+	}
+	if !errors.Is(err, sim.ErrInterrupted) {
+		t.Fatalf("timeout abort lost the sim.ErrInterrupted sentinel: %v", err)
+	}
+	if errors.Is(err, sim.ErrMaxCycles) {
+		t.Fatalf("timeout abort misclassified as MaxCycles: %v", err)
+	}
+	var s RunSummary
+	if uerr := json.Unmarshal(jsonl.Bytes(), &s); uerr != nil {
+		t.Fatalf("no JSONL abort record: %v (log %q)", uerr, jsonl.String())
+	}
+	if s.Abort != "timeout" || s.Label != "bfs-po" || s.Scheme != string(SchemeNone) {
+		t.Errorf("abort record = %+v, want abort=timeout for bfs-po/none", s)
+	}
+	if !strings.Contains(s.Error, "interrupted") {
+		t.Errorf("abort record error %q missing cause", s.Error)
 	}
 	// Without the timeout the same cell runs fine on a fresh harness.
 	h2 := New(goldenCfg(1))
@@ -169,14 +192,27 @@ func TestRunTimeoutAborts(t *testing.T) {
 	}
 }
 
-// TestMaxCyclesThreaded checks exp.Config.MaxCycles reaches the simulator.
+// TestMaxCyclesThreaded checks exp.Config.MaxCycles reaches the simulator
+// and its abort is classified distinctly from a timeout.
 func TestMaxCyclesThreaded(t *testing.T) {
+	var jsonl bytes.Buffer
 	cfg := goldenCfg(1)
 	cfg.MaxCycles = 10
+	cfg.JSONLog = &jsonl
 	h := New(cfg)
 	_, err := h.RunOne("bfs", "po", SchemeNone)
 	if err == nil || !strings.Contains(err.Error(), "MaxCycles") {
 		t.Fatalf("expected MaxCycles error, got %v", err)
+	}
+	if !errors.Is(err, sim.ErrMaxCycles) {
+		t.Fatalf("MaxCycles abort lost its sentinel: %v", err)
+	}
+	var s RunSummary
+	if uerr := json.Unmarshal(jsonl.Bytes(), &s); uerr != nil {
+		t.Fatalf("no JSONL abort record: %v", uerr)
+	}
+	if s.Abort != "max-cycles" {
+		t.Errorf("abort = %q, want max-cycles", s.Abort)
 	}
 }
 

@@ -13,6 +13,10 @@ import (
 var simCriticalDirs = map[string]bool{
 	"sim": true, "cpu": true, "cache": true, "dram": true,
 	"tlb": true, "prefetch": true, "trace": true, "workloads": true,
+	// obs exports must be byte-identical across identical runs (the
+	// determinism test diffs two metrics/trace streams), so it obeys the
+	// same no-map-iteration rule as the simulator proper.
+	"obs": true,
 }
 
 // wallClockFuncs are the time-package functions that read the wall clock.

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"bufio"
+	"errors"
+	"os"
+)
+
+// OpenFiles builds a Recorder writing the catapult trace to tracePath and
+// the interval metrics JSONL to metricsPath (either may be empty to skip
+// that output), sampling every interval cycles (<=0 means
+// DefaultInterval). It returns the recorder and a close function that
+// flushes and closes the files, combining any deferred write errors; the
+// close function must be called after Recorder.Finish. When both paths
+// are empty it returns (nil, no-op, nil) — the fully-disabled path.
+func OpenFiles(tracePath, metricsPath string, interval int64) (*Recorder, func() error, error) {
+	if tracePath == "" && metricsPath == "" {
+		return nil, func() error { return nil }, nil
+	}
+	var (
+		files   []*os.File
+		writers []*bufio.Writer
+		opts    = Options{Interval: interval}
+	)
+	open := func(path string) (*bufio.Writer, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		w := bufio.NewWriterSize(f, 1<<16)
+		files = append(files, f)
+		writers = append(writers, w)
+		return w, nil
+	}
+	closeAll := func() error {
+		var errs []error
+		for _, w := range writers {
+			errs = append(errs, w.Flush())
+		}
+		for _, f := range files {
+			errs = append(errs, f.Close())
+		}
+		return errors.Join(errs...)
+	}
+	if tracePath != "" {
+		w, err := open(tracePath)
+		if err != nil {
+			return nil, nil, errors.Join(err, closeAll())
+		}
+		opts.Trace = w
+	}
+	if metricsPath != "" {
+		w, err := open(metricsPath)
+		if err != nil {
+			return nil, nil, errors.Join(err, closeAll())
+		}
+		opts.Metrics = w
+	}
+	return New(opts), closeAll, nil
+}

@@ -1,0 +1,474 @@
+// Package obs is the simulation observability layer: a counter/gauge
+// registry with interval sampling (per-core CPI-stack slices, cache miss
+// rates, DRAM busy fraction and queue depth, PFHR occupancy, ...) emitted
+// as JSONL, plus a Chrome trace-event (catapult JSON) timeline exporter
+// whose output opens directly in chrome://tracing or Perfetto.
+//
+// Every hook goes through a nil-checkable *Recorder: a nil receiver makes
+// each call a single branch, so fully-disabled instrumentation costs one
+// predictable compare per hook and perturbs nothing. The recorder is
+// driven entirely by simulated cycles — it never reads the wall clock —
+// so two identical runs produce byte-identical metrics and traces.
+//
+// Wiring: the simulation engine calls Start once at machine assembly,
+// components register counters/gauges while attaching, the engine calls
+// Tick as simulated time advances (flushing every interval whose cycles
+// are fully attributed), and Finish flushes the tail and the trace
+// footer. See docs/OBSERVABILITY.md for the CLI flags and a trace-viewer
+// walkthrough.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// DefaultInterval is the metrics sampling period in cycles when Options
+// leaves it unset.
+const DefaultInterval = 10000
+
+// Options configures a Recorder. Either writer may be nil to disable that
+// output; New with both nil still returns a usable (inert) recorder, but
+// callers normally pass a nil *Recorder instead.
+type Options struct {
+	// Interval is the metrics sampling period in simulated cycles
+	// (default DefaultInterval).
+	Interval int64
+	// Metrics receives one JSON object per interval (JSONL).
+	Metrics io.Writer
+	// Trace receives the catapult trace-event JSON stream.
+	Trace io.Writer
+}
+
+// CounterID names a registered counter. The zero value is not valid; -1
+// (returned by registration on a nil recorder) is safely ignored by Add.
+type CounterID int32
+
+// gauge is a registered sampling callback.
+type gauge struct {
+	name string
+	fn   func(cycle int64) float64
+}
+
+// spanState coalesces consecutive same-class stall chunks into one
+// timeline span per core.
+type spanState struct {
+	class      int
+	start, end int64
+	open       bool
+}
+
+// bucket accumulates one interval's deltas.
+type bucket struct {
+	cpi      [][]int64 // [core][class] attributed cycles
+	counters []uint64
+}
+
+// Recorder collects interval metrics and timeline events for one
+// simulation. All methods are safe on a nil receiver (no-ops), which is
+// the disabled path. A Recorder is single-run and not safe for concurrent
+// use — exactly like the simulation engine that drives it.
+type Recorder struct {
+	interval int64
+	metrics  io.Writer
+	tw       *traceWriter
+	clock    func() int64
+
+	cores   int
+	classes []string
+
+	names  []string
+	index  map[string]CounterID
+	gauges []gauge
+	sealed bool
+
+	// next is the next interval index to flush; buckets[i] covers
+	// interval next+i (nil entries are all-zero intervals).
+	next    int64
+	buckets []*bucket
+
+	spans []spanState
+	err   error
+}
+
+// New builds a Recorder from opts. Returns a non-nil recorder; pass a nil
+// *Recorder wherever instrumentation should be disabled entirely.
+func New(opts Options) *Recorder {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	r := &Recorder{
+		interval: opts.Interval,
+		metrics:  opts.Metrics,
+		index:    map[string]CounterID{},
+	}
+	if opts.Trace != nil {
+		r.tw = newTraceWriter(opts.Trace)
+	}
+	return r
+}
+
+// Interval returns the metrics sampling period in cycles (0 on a nil
+// recorder).
+func (r *Recorder) Interval() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.interval
+}
+
+// Start configures the run topology: core count, stall-class display
+// names (the CPI-stack categories), and the simulated-cycle clock used by
+// hooks that have no explicit cycle at hand. The engine calls this once
+// at machine assembly, before components register counters.
+func (r *Recorder) Start(cores int, stallClasses []string, clock func() int64) {
+	if r == nil {
+		return
+	}
+	r.cores = cores
+	r.classes = append([]string(nil), stallClasses...)
+	r.clock = clock
+	r.spans = make([]spanState, cores)
+	if r.tw != nil {
+		r.tw.event(traceEvent{Ph: "M", Pid: 0, Name: "process_name",
+			Args: map[string]any{"name": "prodigy cores"}})
+		for c := 0; c < cores; c++ {
+			r.tw.event(traceEvent{Ph: "M", Pid: 0, Tid: c, Name: "thread_name",
+				Args: map[string]any{"name": "core " + itoa(c)}})
+		}
+	}
+}
+
+// now returns the current simulated cycle (0 before Start).
+func (r *Recorder) now() int64 {
+	if r.clock == nil {
+		return 0
+	}
+	return r.clock()
+}
+
+// Counter registers (or re-fetches) a named interval counter and returns
+// its ID. Registration happens while components attach, before the run
+// produces data; late registrations after sampling has begun are refused
+// (the returned ID is inert).
+func (r *Recorder) Counter(name string) CounterID {
+	if r == nil {
+		return -1
+	}
+	if id, ok := r.index[name]; ok {
+		return id
+	}
+	if r.sealed {
+		return -1
+	}
+	id := CounterID(len(r.names))
+	r.names = append(r.names, name)
+	r.index[name] = id
+	return id
+}
+
+// GaugeFunc registers a named gauge sampled at every interval boundary
+// with the boundary cycle.
+func (r *Recorder) GaugeFunc(name string, fn func(cycle int64) float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.gauges = append(r.gauges, gauge{name: name, fn: fn})
+}
+
+// Add increments counter id by n at the current simulated cycle.
+func (r *Recorder) Add(id CounterID, n uint64) {
+	if r == nil {
+		return
+	}
+	r.AddAt(id, r.now(), n)
+}
+
+// AddAt increments counter id by n, attributed to the interval containing
+// cycle. Cycles in already-flushed intervals are dropped; cycles in
+// future intervals (e.g. DRAM bandwidth booked ahead of time) buffer
+// until that interval flushes.
+func (r *Recorder) AddAt(id CounterID, cycle int64, n uint64) {
+	if r == nil || id < 0 || r.metrics == nil {
+		return
+	}
+	if b := r.bucketFor(cycle / r.interval); b != nil && int(id) < len(b.counters) {
+		b.counters[id] += n
+	}
+}
+
+// StallSpan attributes core's cycles [from, to) to a stall class: the
+// chunk is split across interval buckets for the CPI-stack samples, and
+// consecutive same-class chunks coalesce into one timeline span. Classes
+// index into the Start stall-class names.
+func (r *Recorder) StallSpan(core, class int, from, to int64) {
+	if r == nil || to <= from || core >= r.cores || class >= len(r.classes) {
+		return
+	}
+	if r.metrics != nil {
+		for cur := from; cur < to; {
+			idx := cur / r.interval
+			end := (idx + 1) * r.interval
+			if end > to {
+				end = to
+			}
+			if b := r.bucketFor(idx); b != nil {
+				b.cpi[core][class] += end - cur
+			}
+			cur = end
+		}
+	}
+	if r.tw != nil {
+		s := &r.spans[core]
+		if s.open && s.class == class && s.end == from {
+			s.end = to
+			return
+		}
+		if s.open {
+			r.emitSpan(core, s)
+		}
+		*s = spanState{class: class, start: from, end: to, open: true}
+	}
+}
+
+// Instant emits a zero-duration timeline marker on core's track at the
+// current cycle (e.g. a prefetch sequence start or drop).
+func (r *Recorder) Instant(core int, name, cat string) {
+	if r == nil || r.tw == nil {
+		return
+	}
+	r.tw.event(traceEvent{Ph: "i", Ts: r.now(), Pid: 0, Tid: core,
+		Name: name, Cat: cat, Scope: "t"})
+}
+
+// FlowBegin opens an async span and flow arrow (id-matched with FlowEnd)
+// at the current cycle — one per tracked prefetch, so issue-to-fill
+// latency renders as its own track with arrows into the core timeline.
+func (r *Recorder) FlowBegin(core int, id uint64, name, cat string) {
+	if r == nil || r.tw == nil {
+		return
+	}
+	ts := r.now()
+	r.tw.event(traceEvent{Ph: "b", Ts: ts, Pid: 0, Tid: core, Name: name, Cat: cat, ID: hexID(id)})
+	r.tw.event(traceEvent{Ph: "s", Ts: ts, Pid: 0, Tid: core, Name: name + "-flow", Cat: cat, ID: hexID(id)})
+}
+
+// FlowEnd closes the async span and flow arrow opened by FlowBegin.
+func (r *Recorder) FlowEnd(core int, id uint64, name, cat string) {
+	if r == nil || r.tw == nil {
+		return
+	}
+	ts := r.now()
+	r.tw.event(traceEvent{Ph: "e", Ts: ts, Pid: 0, Tid: core, Name: name, Cat: cat, ID: hexID(id)})
+	r.tw.event(traceEvent{Ph: "f", BP: "e", Ts: ts, Pid: 0, Tid: core, Name: name + "-flow", Cat: cat, ID: hexID(id)})
+}
+
+// Tick flushes every interval whose cycles are fully attributed (interval
+// end at or before now). The engine calls it after stepping all cores at
+// each scheduling point.
+func (r *Recorder) Tick(now int64) {
+	if r == nil || r.metrics == nil {
+		return
+	}
+	for (r.next+1)*r.interval <= now {
+		r.flushNext(-1)
+	}
+}
+
+// Finish flushes the trailing partial interval plus any future-booked
+// buckets, closes open timeline spans, writes the trace footer, and
+// returns the first write error encountered anywhere.
+func (r *Recorder) Finish(end int64) error {
+	if r == nil {
+		return nil
+	}
+	if r.metrics != nil {
+		for len(r.buckets) > 0 || r.next*r.interval < end {
+			r.flushNext(end)
+		}
+	}
+	if r.tw != nil {
+		for core := range r.spans {
+			if r.spans[core].open {
+				r.emitSpan(core, &r.spans[core])
+				r.spans[core].open = false
+			}
+		}
+		r.tw.close()
+		if r.err == nil {
+			r.err = r.tw.err
+		}
+	}
+	return r.err
+}
+
+// bucketFor returns the bucket for interval idx, allocating as needed.
+// Already-flushed intervals return nil (the caller drops the sample).
+func (r *Recorder) bucketFor(idx int64) *bucket {
+	r.sealed = true
+	if idx < r.next {
+		return nil
+	}
+	off := idx - r.next
+	for int64(len(r.buckets)) <= off {
+		r.buckets = append(r.buckets, nil)
+	}
+	if r.buckets[off] == nil {
+		b := &bucket{counters: make([]uint64, len(r.names))}
+		b.cpi = make([][]int64, r.cores)
+		for i := range b.cpi {
+			b.cpi[i] = make([]int64, len(r.classes))
+		}
+		r.buckets[off] = b
+	}
+	return r.buckets[off]
+}
+
+// MetricsRow is the JSONL schema of one interval sample. Exported so
+// tests and downstream analysis unmarshal rows directly.
+type MetricsRow struct {
+	// Interval is the sample index; the sample covers simulated cycles
+	// [Start, End).
+	Interval int64 `json:"interval"`
+	Start    int64 `json:"start"`
+	End      int64 `json:"end"`
+	// Cycles is the number of simulated cycles the run actually spent in
+	// this interval (End-Start, clamped at the run's final cycle). Each
+	// core's CPI entries sum to exactly this value.
+	Cycles int64 `json:"cycles"`
+	// CPI is the per-core CPI-stack slice: stall-class name to cycles
+	// attributed within this interval.
+	CPI []map[string]int64 `json:"cpi"`
+	// Counters holds every registered counter's delta over the interval.
+	Counters map[string]uint64 `json:"counters"`
+	// Gauges holds each registered gauge sampled at the interval
+	// boundary.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+}
+
+// flushNext emits the row for interval r.next. finish is the run's final
+// cycle when known (Finish), -1 mid-run.
+func (r *Recorder) flushNext(finish int64) {
+	idx := r.next
+	r.next++
+	var b *bucket
+	if len(r.buckets) > 0 {
+		b = r.buckets[0]
+		r.buckets = r.buckets[1:]
+	}
+	start := idx * r.interval
+	end := start + r.interval
+	row := MetricsRow{
+		Interval: idx,
+		Start:    start,
+		End:      end,
+		Cycles:   r.interval,
+		Counters: map[string]uint64{},
+	}
+	if finish >= 0 {
+		if c := finish - start; c < row.Cycles {
+			row.Cycles = c
+		}
+		if row.Cycles < 0 {
+			row.Cycles = 0
+		}
+	}
+	row.CPI = make([]map[string]int64, r.cores)
+	for core := 0; core < r.cores; core++ {
+		m := make(map[string]int64, len(r.classes))
+		for ci, name := range r.classes {
+			if b != nil {
+				m[name] = b.cpi[core][ci]
+			} else {
+				m[name] = 0
+			}
+		}
+		row.CPI[core] = m
+	}
+	for i, name := range r.names {
+		if b != nil {
+			row.Counters[name] = b.counters[i]
+		} else {
+			row.Counters[name] = 0
+		}
+	}
+	if len(r.gauges) > 0 {
+		sampleAt := end
+		if finish >= 0 && finish < sampleAt {
+			sampleAt = finish
+		}
+		row.Gauges = make(map[string]float64, len(r.gauges))
+		for _, g := range r.gauges {
+			row.Gauges[g.name] = g.fn(sampleAt)
+		}
+	}
+	buf, err := json.Marshal(row)
+	if err != nil {
+		if r.err == nil {
+			r.err = err
+		}
+		return
+	}
+	r.metricsWrite(append(buf, '\n'))
+}
+
+// metricsWrite writes to the metrics sink, retaining the first error.
+func (r *Recorder) metricsWrite(b []byte) {
+	if _, err := r.metrics.Write(b); err != nil && r.err == nil {
+		r.err = err
+	}
+}
+
+// emitSpan writes one coalesced stall span as a complete ("X") event.
+func (r *Recorder) emitSpan(core int, s *spanState) {
+	name := "?"
+	if s.class >= 0 && s.class < len(r.classes) {
+		name = r.classes[s.class]
+	}
+	r.tw.event(traceEvent{Ph: "X", Ts: s.start, Dur: s.end - s.start,
+		Pid: 0, Tid: core, Name: name, Cat: "stall"})
+}
+
+// itoa is strconv.Itoa without the import weight elsewhere in the hot
+// path (metadata only).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// hexID renders a flow/async id the way trace viewers expect.
+func hexID(id uint64) string {
+	const digits = "0123456789abcdef"
+	var buf [18]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = digits[id&0xF]
+		id >>= 4
+		if id == 0 {
+			break
+		}
+	}
+	i--
+	buf[i] = 'x'
+	i--
+	buf[i] = '0'
+	return string(buf[i:])
+}

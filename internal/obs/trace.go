@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// traceEvent is one Chrome trace-event (catapult JSON) record. Field
+// order is fixed by the struct, and the only map (Args) is marshaled by
+// encoding/json with sorted keys, so the byte stream is deterministic.
+// Timestamps and durations are in simulated cycles, reported through the
+// microsecond-denominated ts/dur fields the viewers expect.
+type traceEvent struct {
+	Name  string         `json:"name,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceWriter streams a catapult trace: a JSON object whose traceEvents
+// array grows one event at a time, closed by close(). The first write
+// error is retained and later events become no-ops.
+type traceWriter struct {
+	w      io.Writer
+	opened bool
+	closed bool
+	err    error
+}
+
+func newTraceWriter(w io.Writer) *traceWriter {
+	return &traceWriter{w: w}
+}
+
+// event appends one record to the traceEvents array.
+func (t *traceWriter) event(e traceEvent) {
+	if t.err != nil || t.closed {
+		return
+	}
+	buf, err := json.Marshal(e)
+	if err != nil {
+		t.err = err
+		return
+	}
+	head := `,` + "\n"
+	if !t.opened {
+		head = `{"displayTimeUnit":"ms","traceEvents":[` + "\n"
+		t.opened = true
+	}
+	t.write(append([]byte(head), buf...))
+}
+
+// close terminates the traceEvents array and the enclosing object. A
+// trace with zero events still produces a valid document.
+func (t *traceWriter) close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	if t.err != nil {
+		return
+	}
+	if !t.opened {
+		t.write([]byte(`{"displayTimeUnit":"ms","traceEvents":[`))
+	}
+	t.write([]byte("\n]}\n"))
+}
+
+// write sends bytes to the sink, retaining the first error.
+func (t *traceWriter) write(b []byte) {
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+	}
+}

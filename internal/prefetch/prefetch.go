@@ -8,7 +8,10 @@
 // requests through its Env.
 package prefetch
 
-import "prodigy/internal/cache"
+import (
+	"prodigy/internal/cache"
+	"prodigy/internal/obs"
+)
 
 // UntrackedMeta is the Meta value for fire-and-forget prefetches whose
 // fills need no further processing (leaf-node data).
@@ -33,6 +36,11 @@ type Env struct {
 	// (per-core MSHR cap) and no fill will ever arrive — trackers must
 	// release any state tied to the request.
 	Issue func(addr uint64, meta uint32) bool
+	// Obs is the simulation's observability recorder; nil (the common
+	// case) disables instrumentation. Prefetchers may register counters
+	// and gauges against it at construction and emit events during the
+	// run — every recorder method is safe on a nil receiver.
+	Obs *obs.Recorder
 }
 
 // Prefetcher is a per-core hardware prefetcher.

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+
+	"prodigy/internal/core"
+	"prodigy/internal/obs"
+	"prodigy/internal/trace"
+)
+
+// runIrregular executes the irregular workload once, optionally
+// instrumented, and returns the result.
+func runIrregular(t testing.TB, n int, rec *obs.Recorder) Result {
+	space, idx, data, d := irregularSetup(t, n)
+	cfg := Default(1)
+	cfg.Prefetcher = core.New(d, core.DefaultConfig())
+	cfg.Obs = rec
+	res, err := Run(cfg, space, trace.NewGen(1, 1<<20), irregularWorkload(idx, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestObsOnDoesNotChangeResult checks instrumentation is purely
+// observational: with a recorder attached, the simulated machine retires
+// the same instructions in the same cycles with identical cache behaviour.
+func TestObsOnDoesNotChangeResult(t *testing.T) {
+	const n = 1 << 13
+	base := runIrregular(t, n, nil)
+	rec := obs.New(obs.Options{Interval: 1000, Trace: io.Discard, Metrics: io.Discard})
+	instrumented := runIrregular(t, n, rec)
+	if instrumented.Cycles != base.Cycles {
+		t.Errorf("cycles: obs-on %d vs obs-off %d", instrumented.Cycles, base.Cycles)
+	}
+	if instrumented.Agg != base.Agg {
+		t.Errorf("CPI stacks diverged: %+v vs %+v", instrumented.Agg, base.Agg)
+	}
+	if instrumented.Cache != base.Cache {
+		t.Errorf("cache stats diverged: %+v vs %+v", instrumented.Cache, base.Cache)
+	}
+}
+
+// TestObsCountersMatchResultStats cross-checks the interval counters
+// against the simulator's own aggregate statistics: the summed
+// "cache.demand" counter must equal Result.Cache.DemandAccesses, and the
+// per-interval CPI slices must add up to the run's attributed cycles.
+func TestObsCountersMatchResultStats(t *testing.T) {
+	var metrics bytes.Buffer
+	rec := obs.New(obs.Options{Interval: 500, Metrics: &metrics})
+	res := runIrregular(t, 1<<12, rec)
+
+	var demand uint64
+	var attributed int64
+	for _, line := range bytes.Split(bytes.TrimSpace(metrics.Bytes()), []byte("\n")) {
+		var row obs.MetricsRow
+		if err := json.Unmarshal(line, &row); err != nil {
+			t.Fatalf("bad metrics row %q: %v", line, err)
+		}
+		demand += row.Counters["cache.demand"]
+		for _, stack := range row.CPI {
+			for _, v := range stack {
+				attributed += v
+			}
+		}
+	}
+	if demand != res.Cache.DemandAccesses {
+		t.Errorf("summed cache.demand = %d, Result says %d", demand, res.Cache.DemandAccesses)
+	}
+	if attributed != res.Cycles {
+		t.Errorf("interval CPI slices cover %d cycles, run took %d", attributed, res.Cycles)
+	}
+}
+
+// BenchmarkRunObsOff measures the simulator with instrumentation compiled
+// in but disabled (nil recorder): the acceptance bar is that this stays
+// within noise (<2%) of the pre-instrumentation simulator, since every
+// disabled hook is a single nil check.
+func BenchmarkRunObsOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runIrregular(b, 1<<13, nil)
+	}
+}
+
+// BenchmarkRunObsOn measures the cost of full instrumentation (trace +
+// metrics to io.Discard) for comparison with BenchmarkRunObsOff.
+func BenchmarkRunObsOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rec := obs.New(obs.Options{Interval: 10000, Trace: io.Discard, Metrics: io.Discard})
+		runIrregular(b, 1<<13, rec)
+	}
+}

@@ -13,15 +13,31 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 
 	"prodigy/internal/cache"
 	"prodigy/internal/cpu"
 	"prodigy/internal/dram"
 	"prodigy/internal/memspace"
+	"prodigy/internal/obs"
 	"prodigy/internal/prefetch"
 	"prodigy/internal/tlb"
 	"prodigy/internal/trace"
+)
+
+// Sentinel abort causes. Run wraps these with cycle context; callers
+// distinguish them with errors.Is — e.g. the experiment runner records
+// whether a run died to its wall-clock watchdog (ErrInterrupted) or to
+// the cycle limit (ErrMaxCycles).
+var (
+	// ErrInterrupted aborted the run because Config.Interrupt returned
+	// true (typically a wall-clock timeout).
+	ErrInterrupted = errors.New("interrupted")
+	// ErrMaxCycles aborted the run at the Config.MaxCycles guard.
+	ErrMaxCycles = errors.New("exceeded MaxCycles")
+	// ErrDeadlock aborted the run because no core could make progress.
+	ErrDeadlock = errors.New("deadlock")
 )
 
 // Config assembles a machine.
@@ -46,10 +62,15 @@ type Config struct {
 	// (the fill-level ablation; the paper's design fills the L1D).
 	PrefetchFillL2 bool
 	// Interrupt, when set, is polled periodically during the run; returning
-	// true aborts the simulation with an error, mirroring the MaxCycles
-	// guard. The experiment runner uses it for per-run wall-clock timeouts,
-	// since a simulation goroutine cannot be killed from outside.
+	// true aborts the simulation with ErrInterrupted, mirroring the
+	// MaxCycles guard. The experiment runner uses it for per-run
+	// wall-clock timeouts, since a simulation goroutine cannot be killed
+	// from outside.
 	Interrupt func() bool
+	// Obs, when set, receives interval metrics and timeline events from
+	// every component (see internal/obs). nil disables all
+	// instrumentation; the hooks then cost one branch each.
+	Obs *obs.Recorder
 }
 
 // Default returns the Table I machine (capacities scaled per DESIGN.md §2)
@@ -125,6 +146,9 @@ type pfEvent struct {
 	metas        []uint32
 	demandMerged bool
 	idx          int // heap index
+	// flowID links the issue and fill timeline events (0 when tracing is
+	// off).
+	flowID uint64
 }
 
 // eventHeap is a min-heap of pending prefetch completions ordered by ready
@@ -161,6 +185,13 @@ type Machine struct {
 	// cap.
 	inflightPerCore []int
 	stats           Stats
+
+	// Observability counter IDs and the prefetch flow-event sequence
+	// (inert when cfg.Obs is nil).
+	obsPFIssued  obs.CounterID
+	obsLateMerge obs.CounterID
+	obsMSHRFull  obs.CounterID
+	pfFlowSeq    uint64
 }
 
 // NewMachine wires a machine to a functional memory and per-core
@@ -180,6 +211,18 @@ func NewMachine(cfg Config, space *memspace.Space, gen *trace.Gen) *Machine {
 		inflight: map[inflightKey]*pfEvent{},
 	}
 	m.inflightPerCore = make([]int, cfg.Cores)
+	if cfg.Obs != nil {
+		names := make([]string, len(cpu.StallKinds))
+		for i, k := range cpu.StallKinds {
+			names[i] = k.String()
+		}
+		cfg.Obs.Start(cfg.Cores, names, func() int64 { return m.now })
+		m.obsPFIssued = cfg.Obs.Counter("sim.pf_issued")
+		m.obsLateMerge = cfg.Obs.Counter("sim.late_merge")
+		m.obsMSHRFull = cfg.Obs.Counter("sim.pf_mshr_full")
+	}
+	m.hier.Attach(cfg.Obs)
+	m.mem.Attach(cfg.Obs)
 	fac := cfg.Prefetcher
 	if fac == nil {
 		fac = prefetch.None()
@@ -193,6 +236,7 @@ func NewMachine(cfg Config, space *memspace.Space, gen *trace.Gen) *Machine {
 			Probe:    func(addr uint64) cache.Level { return m.hier.Probe(core, addr) },
 			Read:     func(addr uint64) (uint64, bool) { return space.ReadAt(addr) },
 			Issue:    func(addr uint64, meta uint32) bool { return m.issuePrefetch(core, addr, meta) },
+			Obs:      cfg.Obs,
 		}
 		m.pfs = append(m.pfs, fac(env))
 		memFn := func(now int64, in trace.Instr) (int64, cache.Level) {
@@ -202,7 +246,9 @@ func NewMachine(cfg Config, space *memspace.Space, gen *trace.Gen) *Machine {
 			m.now = now
 			m.issuePrefetch(core, addr, prefetch.UntrackedMeta)
 		}
-		m.cores = append(m.cores, cpu.New(cfg.CPU, gen.Reader(core), memFn, softFn))
+		cc := cpu.New(cfg.CPU, gen.Reader(core), memFn, softFn)
+		cc.AttachObs(cfg.Obs, core)
+		m.cores = append(m.cores, cc)
 	}
 	return m
 }
@@ -232,6 +278,7 @@ func (m *Machine) demandAccess(core int, now int64, in trace.Instr) (int64, cach
 	if ev, ok := m.inflight[key]; ok {
 		ev.demandMerged = true
 		m.stats.LateMerges++
+		m.cfg.Obs.Add(m.obsLateMerge, 1)
 		// Promote the in-flight prefetch to demand priority (MSHR
 		// promotion): a prefetch deep in the low-priority queue must not
 		// make the demand wait longer than a fresh demand read would. The
@@ -302,6 +349,7 @@ func (m *Machine) issuePrefetch(core int, addr uint64, meta uint32) bool {
 	}
 	if m.inflightPerCore[core] >= m.cfg.PrefetchMSHRs {
 		m.stats.PrefetchMSHRFull++
+		m.cfg.Obs.Add(m.obsMSHRFull, 1)
 		return false
 	}
 	tlbLat := m.tlbs[core].Translate(addr)
@@ -322,6 +370,12 @@ func (m *Machine) issuePrefetch(core int, addr uint64, meta uint32) bool {
 	m.inflight[key] = ev
 	m.inflightPerCore[core]++
 	m.stats.PrefetchIssued++
+	if m.cfg.Obs != nil {
+		m.cfg.Obs.Add(m.obsPFIssued, 1)
+		m.pfFlowSeq++
+		ev.flowID = m.pfFlowSeq
+		m.cfg.Obs.FlowBegin(core, ev.flowID, "prefetch", "pf")
+	}
 	return true
 }
 
@@ -351,6 +405,9 @@ func (m *Machine) processEvents(now int64) {
 			// used so Fig. 15 doesn't misclassify it as evicted-unused.
 			m.hier.TouchUsed(ev.core, ev.lineAddr)
 			m.stats.LateUsedFills++
+		}
+		if ev.flowID != 0 {
+			m.cfg.Obs.FlowEnd(ev.core, ev.flowID, "prefetch", "pf")
 		}
 		for _, meta := range ev.metas {
 			m.pfs[ev.core].OnFill(now, ev.lineAddr, meta, ev.level)
@@ -384,7 +441,8 @@ func (m *Machine) Run() (Result, error) {
 	now := int64(0)
 	for iter := 0; ; iter++ {
 		if m.cfg.Interrupt != nil && iter&interruptPollMask == 0 && m.cfg.Interrupt() {
-			return Result{}, fmt.Errorf("sim: interrupted at cycle %d", now)
+			_ = m.cfg.Obs.Finish(now)
+			return Result{}, fmt.Errorf("sim: %w at cycle %d", ErrInterrupted, now)
 		}
 		m.processEvents(now)
 		m.now = now
@@ -410,6 +468,9 @@ func (m *Machine) Run() (Result, error) {
 				next = n
 			}
 		}
+		// Every core has attributed its cycles up to now; intervals ending
+		// at or before now are complete and can be flushed.
+		m.cfg.Obs.Tick(now)
 		if allDone {
 			break
 		}
@@ -425,11 +486,13 @@ func (m *Machine) Run() (Result, error) {
 		}
 		if next >= int64(1)<<62 {
 			// All cores claim no progress is possible but none are done.
-			return Result{}, fmt.Errorf("sim: deadlock at cycle %d", now)
+			_ = m.cfg.Obs.Finish(now)
+			return Result{}, fmt.Errorf("sim: %w at cycle %d", ErrDeadlock, now)
 		}
 		now = next
 		if now > m.cfg.MaxCycles {
-			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d", m.cfg.MaxCycles)
+			_ = m.cfg.Obs.Finish(now)
+			return Result{}, fmt.Errorf("sim: %w (limit %d)", ErrMaxCycles, m.cfg.MaxCycles)
 		}
 	}
 
@@ -448,6 +511,12 @@ func (m *Machine) Run() (Result, error) {
 	res.DRAM = m.mem.Stats
 	res.Sim = m.stats
 	res.DRAMUtilization = m.mem.Utilization(now)
+	// FinishAt attributed every core's tail; flush the remaining intervals
+	// and close the trace. Export failures (e.g. a full disk) surface as
+	// run errors — silently truncated metrics would be worse.
+	if ferr := m.cfg.Obs.Finish(now); ferr != nil {
+		return res, fmt.Errorf("sim: observability export: %w", ferr)
+	}
 	return res, nil
 }
 

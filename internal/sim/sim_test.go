@@ -128,7 +128,7 @@ func TestStridePrefetcherSpeedsUpScan(t *testing.T) {
 
 // irregularSetup builds an indirect traversal: for each i, load idx[i]
 // then load data[idx[i]] (single-valued indirection), with a DIG.
-func irregularSetup(t *testing.T, n int) (*memspace.Space, *memspace.U32, *memspace.U32, *dig.DIG) {
+func irregularSetup(t testing.TB, n int) (*memspace.Space, *memspace.U32, *memspace.U32, *dig.DIG) {
 	t.Helper()
 	space := memspace.New()
 	idx := space.AllocU32("idx", n)

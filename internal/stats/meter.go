@@ -27,10 +27,14 @@ func NewMeter(total int) *Meter {
 
 // Done records the completion of one item and how long it took. Cached or
 // skipped items may report a zero duration; they still advance the count.
+// Calls beyond the batch size (a caller retrying an item) clamp at total
+// so progress never reads past 100%.
 func (m *Meter) Done(label string, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.done++
+	if m.done < m.total {
+		m.done++
+	}
 	if d > m.slowest {
 		m.slowest = d
 		m.slowestLabel = label

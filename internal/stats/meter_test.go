@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMeterEmptyBatch checks a zero-item sweep renders without dividing by
+// zero and never reports an ETA.
+func TestMeterEmptyBatch(t *testing.T) {
+	m := NewMeter(0)
+	s := m.Snapshot()
+	if s.Done != 0 || s.Total != 0 || s.ETA != 0 {
+		t.Fatalf("empty meter snapshot = %+v", s)
+	}
+	line := s.String()
+	if !strings.Contains(line, "0/0 runs (0.0%)") {
+		t.Errorf("empty meter renders %q", line)
+	}
+}
+
+// TestMeterOverCount checks extra Done calls (possible if a caller retries
+// an item) never push progress past 100% or resurrect the ETA.
+func TestMeterOverCount(t *testing.T) {
+	m := NewMeter(2)
+	for i := 0; i < 5; i++ {
+		m.Done("x", time.Duration(i)*time.Millisecond)
+	}
+	s := m.Snapshot()
+	if s.Done != s.Total {
+		t.Errorf("done = %d, want clamped to total %d", s.Done, s.Total)
+	}
+	if s.ETA != 0 {
+		t.Errorf("finished meter still reports ETA %v", s.ETA)
+	}
+	if !strings.Contains(s.String(), "2/2 runs (100.0%)") {
+		t.Errorf("over-counted meter renders %q", s.String())
+	}
+	// The slowest item is still tracked across the extra calls.
+	if s.SlowestLabel != "x" || s.Slowest != 4*time.Millisecond {
+		t.Errorf("slowest = %s %v", s.SlowestLabel, s.Slowest)
+	}
+}
+
+// TestMeterETAAppearsMidBatch checks the ETA is present only while the
+// sweep is in flight.
+func TestMeterETAAppearsMidBatch(t *testing.T) {
+	m := NewMeter(2)
+	if m.Snapshot().ETA != 0 {
+		t.Error("ETA before any completion")
+	}
+	m.Done("a", time.Millisecond)
+	time.Sleep(time.Millisecond) // let Elapsed become non-zero on coarse clocks
+	if m.Snapshot().ETA == 0 {
+		t.Error("no ETA mid-batch")
+	}
+	m.Done("b", time.Millisecond)
+	if m.Snapshot().ETA != 0 {
+		t.Error("ETA after the last completion")
+	}
+}
+
+// TestMeterConcurrentDone hammers Done from many goroutines (run with
+// -race) and checks the count lands exactly on total.
+func TestMeterConcurrentDone(t *testing.T) {
+	const n = 64
+	m := NewMeter(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Done("w", time.Microsecond)
+		}()
+	}
+	wg.Wait()
+	if s := m.Snapshot(); s.Done != n {
+		t.Fatalf("done = %d, want %d", s.Done, n)
+	}
+}
