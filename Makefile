@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint fmt test race bench tables trace-demo
+.PHONY: check build vet lint fmt test race bench bench-json tables trace-demo
 
 check: build vet lint race
 
@@ -34,6 +34,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Hot-path performance gate: run the microbenchmarks and a wall-clock
+# timing of `prodigy-bench -quick`, write BENCH_4.json, and fail if
+# allocs/op on BenchmarkHierarchyAccess regresses above the committed
+# baseline (docs/ARCHITECTURE.md §Performance).
+bench-json:
+	$(GO) run ./cmd/bench-json -out BENCH_4.json
 
 # Regenerate every paper table/figure at paper scale (slow).
 tables:

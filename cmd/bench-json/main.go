@@ -1,0 +1,229 @@
+// Command bench-json runs the repo's performance gate: the hot-path
+// microbenchmarks (internal/cache, internal/sim, internal/dram) plus a
+// wall-clock timing of `prodigy-bench -quick`, written as one JSON
+// document (BENCH_<n>.json, see docs/ARCHITECTURE.md §Performance).
+//
+// When the output file already exists it doubles as the baseline: the
+// run fails (exit 1) if allocs/op on BenchmarkHierarchyAccess regresses
+// above the committed value, so the demand hot path stays allocation-free
+// by construction. ns/op and wall time are recorded but not gated — they
+// vary with the host.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one microbenchmark's result (per-op metrics from -benchmem).
+type Bench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Doc is the BENCH_<n>.json schema.
+type Doc struct {
+	// GoVersion and CPU identify the measurement host (ns/op is only
+	// comparable within one host; allocs/op is host-independent).
+	GoVersion string `json:"go_version"`
+	CPU       string `json:"cpu,omitempty"`
+	// Benchmarks maps benchmark name (without the -cpu suffix) to its
+	// per-op metrics.
+	Benchmarks map[string]Bench `json:"benchmarks"`
+	// QuickBenchMS is the best-of-N wall time of `prodigy-bench -quick`.
+	QuickBenchMS int64 `json:"quick_bench_ms"`
+	QuickRuns    int   `json:"quick_runs"`
+}
+
+// gated names the benchmark whose allocs/op may never grow past the
+// committed baseline.
+const gated = "BenchmarkHierarchyAccess"
+
+// suites lists the hot-path benchmarks (package -> -bench regexp). The
+// sim filter must not match BenchmarkRunObs*, which run full simulations.
+var suites = []struct{ pkg, pattern string }{
+	{"./internal/cache", "BenchmarkHierarchyAccess|BenchmarkFillPrefetch"},
+	{"./internal/sim", "BenchmarkPrefetchIssueProcess"},
+	{"./internal/dram", "BenchmarkControllerRequest"},
+}
+
+func main() {
+	out := flag.String("out", "BENCH_4.json", "output (and baseline) JSON file")
+	quickRuns := flag.Int("quick-runs", 3, "prodigy-bench -quick repetitions (best is kept); 0 skips")
+	flag.Parse()
+
+	if err := run(*out, *quickRuns); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-json:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, quickRuns int) error {
+	baseline := readBaseline(out)
+
+	doc := Doc{
+		GoVersion:  goVersion(),
+		Benchmarks: map[string]Bench{},
+		QuickRuns:  quickRuns,
+	}
+	for _, s := range suites {
+		fmt.Printf("== go test -bench %s %s\n", s.pattern, s.pkg)
+		raw, err := exec.Command("go", "test", "-run", "^$",
+			"-bench", s.pattern, "-benchmem", s.pkg).CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("%s: %v\n%s", s.pkg, err, raw)
+		}
+		if cpu := parseField(raw, "cpu:"); cpu != "" {
+			doc.CPU = cpu
+		}
+		if err := parseBenchLines(raw, doc.Benchmarks); err != nil {
+			return fmt.Errorf("%s: %v", s.pkg, err)
+		}
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results parsed")
+	}
+	for name, b := range doc.Benchmarks {
+		fmt.Printf("   %-32s %10.1f ns/op %6d B/op %4d allocs/op\n",
+			name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+
+	if quickRuns > 0 {
+		ms, err := timeQuickBench(quickRuns)
+		if err != nil {
+			return err
+		}
+		doc.QuickBenchMS = ms
+		fmt.Printf("== prodigy-bench -quick: best of %d = %d ms\n", quickRuns, ms)
+	}
+
+	// The allocation gate: compare against the committed file before
+	// overwriting it.
+	if baseline != nil {
+		base, haveBase := baseline.Benchmarks[gated]
+		got, haveGot := doc.Benchmarks[gated]
+		switch {
+		case !haveGot:
+			return fmt.Errorf("%s missing from this run", gated)
+		case haveBase && got.AllocsPerOp > base.AllocsPerOp:
+			return fmt.Errorf("%s allocs/op regressed: %d > baseline %d (%s)",
+				gated, got.AllocsPerOp, base.AllocsPerOp, out)
+		case haveBase:
+			fmt.Printf("== alloc gate: %s %d allocs/op <= baseline %d: ok\n",
+				gated, got.AllocsPerOp, base.AllocsPerOp)
+		}
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+// readBaseline loads the committed document, or nil when absent/invalid
+// (first run: nothing to gate against).
+func readBaseline(path string) *Doc {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var d Doc
+	if json.Unmarshal(raw, &d) != nil || d.Benchmarks == nil {
+		return nil
+	}
+	return &d
+}
+
+func goVersion() string {
+	raw, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+// parseField extracts the value of a `key value` header line from go
+// test output (e.g. "cpu: Intel...").
+func parseField(raw []byte, key string) string {
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); strings.HasPrefix(line, key) {
+			return strings.TrimSpace(strings.TrimPrefix(line, key))
+		}
+	}
+	return ""
+}
+
+// parseBenchLines parses `BenchmarkX-8  N  12.3 ns/op  0 B/op  0 allocs/op`
+// lines into dst, keyed by the name without the GOMAXPROCS suffix.
+func parseBenchLines(raw []byte, dst map[string]Bench) error {
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 8 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i]
+		}
+		var b Bench
+		var err error
+		for i := 2; i+1 < len(f); i += 2 {
+			switch f[i+1] {
+			case "ns/op":
+				b.NsPerOp, err = strconv.ParseFloat(f[i], 64)
+			case "B/op":
+				b.BytesPerOp, err = strconv.ParseInt(f[i], 10, 64)
+			case "allocs/op":
+				b.AllocsPerOp, err = strconv.ParseInt(f[i], 10, 64)
+			}
+			if err != nil {
+				return fmt.Errorf("parsing %q: %v", sc.Text(), err)
+			}
+		}
+		dst[name] = b
+	}
+	return nil
+}
+
+// timeQuickBench builds cmd/prodigy-bench and returns the best wall time
+// (ms) of runs invocations of `-quick`. Best-of, not mean: scheduling
+// noise only ever adds time.
+func timeQuickBench(runs int) (int64, error) {
+	tmp, err := os.MkdirTemp("", "bench-json-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(tmp) //lint:allow errcheck best-effort temp-dir cleanup
+	bin := filepath.Join(tmp, "prodigy-bench")
+	if raw, err := exec.Command("go", "build", "-o", bin, "./cmd/prodigy-bench").CombinedOutput(); err != nil {
+		return 0, fmt.Errorf("building prodigy-bench: %v\n%s", err, raw)
+	}
+	best := int64(-1)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if raw, err := exec.Command(bin, "-quick").CombinedOutput(); err != nil {
+			return 0, fmt.Errorf("prodigy-bench -quick: %v\n%s", err, raw)
+		}
+		if ms := time.Since(start).Milliseconds(); best < 0 || ms < best {
+			best = ms
+		}
+	}
+	return best, nil
+}

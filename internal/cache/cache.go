@@ -66,6 +66,45 @@ type Config struct {
 	L1Lat, L2Lat, L3Lat int
 }
 
+// Validate reports whether cfg describes a buildable hierarchy. The set
+// index is computed with a mask, so each level's set count must be a
+// power of two; a bad sweep configuration surfaces here as an error from
+// New (and sim.NewMachine) instead of a panic inside a runner worker.
+func (cfg Config) Validate() error {
+	if cfg.Cores <= 0 {
+		return fmt.Errorf("cache: Cores = %d, want > 0", cfg.Cores)
+	}
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		return fmt.Errorf("cache: LineSize = %d, want a power of two", cfg.LineSize)
+	}
+	for _, l := range []struct {
+		name        string
+		size, assoc int
+	}{
+		{"L1", cfg.L1Size, cfg.L1Assoc},
+		{"L2", cfg.L2Size, cfg.L2Assoc},
+		{"L3", cfg.L3Size, cfg.L3Assoc},
+	} {
+		if l.size <= 0 || l.assoc <= 0 {
+			return fmt.Errorf("cache: %s size %d / assoc %d, want both > 0", l.name, l.size, l.assoc)
+		}
+		sets := setCount(l.size, l.assoc, cfg.LineSize)
+		if sets&(sets-1) != 0 {
+			return fmt.Errorf("cache: %s set count %d (size %d, assoc %d, line %d) not a power of two",
+				l.name, sets, l.size, l.assoc, cfg.LineSize)
+		}
+	}
+	return nil
+}
+
+func setCount(sizeBytes, assoc, lineSize int) int {
+	numSets := sizeBytes / lineSize / assoc
+	if numSets == 0 {
+		numSets = 1
+	}
+	return numSets
+}
+
 // ScaledDefault returns the Table I configuration with capacities scaled
 // 1/256 to match the scaled datasets (see DESIGN.md §2): L1 8 KB, L2 32 KB,
 // L3 128 KB shared, 64 B lines, latencies 2/6/30.
@@ -95,18 +134,15 @@ type bank struct {
 	assoc   int
 	setMask uint64
 	tick    uint32
-	// sharers is per-set-way core presence (L3 directory only).
+	// sharers is per-set-way core presence (L3 directory only), indexed
+	// like lines.
 	sharers []uint64
 }
 
+// newBank assumes Config.Validate already approved the geometry (power
+// of two set count).
 func newBank(sizeBytes, assoc, lineSize int, directory bool) *bank {
-	numSets := sizeBytes / lineSize / assoc
-	if numSets == 0 {
-		numSets = 1
-	}
-	if numSets&(numSets-1) != 0 {
-		panic(fmt.Sprintf("cache: set count %d not a power of two", numSets))
-	}
+	numSets := setCount(sizeBytes, assoc, lineSize)
 	b := &bank{
 		lines:   make([]line, numSets*assoc),
 		assoc:   assoc,
@@ -118,18 +154,52 @@ func newBank(sizeBytes, assoc, lineSize int, directory bool) *bank {
 	return b
 }
 
-func (b *bank) set(lineAddr uint64) []line {
+// findIdx returns the global slot index of lineAddr in b.lines, or -1.
+// This is the hot-path lookup: one scan over the set, no slicing.
+func (b *bank) findIdx(lineAddr uint64) int {
 	s := int(lineAddr&b.setMask) * b.assoc
-	return b.lines[s : s+b.assoc]
-}
-
-// lookup returns the way index within the set, or -1.
-func (b *bank) lookup(lineAddr uint64) int {
-	set := b.set(lineAddr)
-	for i := range set {
-		if set[i].tag == lineAddr+1 {
+	tag := lineAddr + 1
+	for i := s; i < s+b.assoc; i++ {
+		if b.lines[i].tag == tag {
 			return i
 		}
+	}
+	return -1
+}
+
+// findOrVictim scans the set once, returning (slot, true) on a hit and
+// (victim slot, false) on a miss. The victim is the first invalid way if
+// any, else the least-recently-used way (first index on ties) — the same
+// policy the old separate lookup+victim pair implemented in two scans.
+func (b *bank) findOrVictim(lineAddr uint64) (int, bool) {
+	s := int(lineAddr&b.setMask) * b.assoc
+	tag := lineAddr + 1
+	invalid := -1
+	victim, bestLRU := s, uint32(^uint32(0))
+	for i := s; i < s+b.assoc; i++ {
+		ln := &b.lines[i]
+		if ln.tag == tag {
+			return i, true
+		}
+		if ln.state == stInvalid {
+			if invalid < 0 {
+				invalid = i
+			}
+		} else if ln.lru < bestLRU {
+			victim, bestLRU = i, ln.lru
+		}
+	}
+	if invalid >= 0 {
+		return invalid, false
+	}
+	return victim, false
+}
+
+// lookup returns the way index within the set, or -1 (kept for tests and
+// inspection; the hot path uses findIdx).
+func (b *bank) lookup(lineAddr uint64) int {
+	if i := b.findIdx(lineAddr); i >= 0 {
+		return i - int(lineAddr&b.setMask)*b.assoc
 	}
 	return -1
 }
@@ -139,42 +209,50 @@ func (b *bank) way(lineAddr uint64, w int) *line {
 	return &b.lines[s+w]
 }
 
-func (b *bank) sharersAt(lineAddr uint64, w int) *uint64 {
-	s := int(lineAddr&b.setMask) * b.assoc
-	return &b.sharers[s+w]
-}
-
-func (b *bank) touch(lineAddr uint64, w int) {
+func (b *bank) touchIdx(i int) {
 	b.tick++
-	b.way(lineAddr, w).lru = b.tick
-}
-
-// victim picks the way to evict (an invalid way if any, else LRU).
-func (b *bank) victim(lineAddr uint64) int {
-	set := b.set(lineAddr)
-	best, bestLRU := 0, uint32(^uint32(0))
-	for i := range set {
-		if set[i].state == stInvalid {
-			return i
-		}
-		if set[i].lru < bestLRU {
-			best, bestLRU = i, set[i].lru
-		}
-	}
-	return best
+	b.lines[i].lru = b.tick
 }
 
 // invalidate drops the line if present, returning its pre-invalidation
 // state.
 func (b *bank) invalidate(lineAddr uint64) (uint8, bool) {
-	w := b.lookup(lineAddr)
-	if w < 0 {
+	i := b.findIdx(lineAddr)
+	if i < 0 {
 		return stInvalid, false
 	}
-	ln := b.way(lineAddr, w)
-	st := ln.state
-	*ln = line{}
+	st := b.lines[i].state
+	b.lines[i] = line{}
 	return st, true
+}
+
+// downgradeIdx moves an Exclusive/Modified copy to Shared, reporting
+// whether a writeback was generated.
+func (b *bank) downgrade(lineAddr uint64) (wroteBack bool) {
+	i := b.findIdx(lineAddr)
+	if i < 0 {
+		return false
+	}
+	ln := &b.lines[i]
+	if ln.state == stModified || ln.state == stExclusive {
+		wroteBack = ln.state == stModified
+		ln.state = stShared
+	}
+	return wroteBack
+}
+
+// markUsed sets the demanded bit if the line is present.
+func (b *bank) markUsed(lineAddr uint64) {
+	if i := b.findIdx(lineAddr); i >= 0 {
+		b.lines[i].used = true
+	}
+}
+
+// setModified upgrades the line's state if present.
+func (b *bank) setModified(lineAddr uint64) {
+	if i := b.findIdx(lineAddr); i >= 0 {
+		b.lines[i].state = stModified
+	}
 }
 
 // Stats aggregates hierarchy-wide counters.
@@ -239,8 +317,11 @@ func (h *Hierarchy) Attach(r *obs.Recorder) {
 	h.obsWriteBk = r.Counter("cache.writeback")
 }
 
-// New builds a hierarchy from cfg.
-func New(cfg Config) *Hierarchy {
+// New builds a hierarchy from cfg, rejecting geometries Validate refuses.
+func New(cfg Config) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	h := &Hierarchy{cfg: cfg}
 	for s := cfg.LineSize; s > 1; s >>= 1 {
 		h.lineShift++
@@ -250,7 +331,7 @@ func New(cfg Config) *Hierarchy {
 		h.l2 = append(h.l2, newBank(cfg.L2Size, cfg.L2Assoc, cfg.LineSize, false))
 	}
 	h.l3 = newBank(cfg.L3Size, cfg.L3Assoc, cfg.LineSize, true)
-	return h
+	return h, nil
 }
 
 // Config returns the hierarchy configuration.
@@ -275,15 +356,19 @@ type Result struct {
 // Access performs a demand read (write=false) or write (write=true) by
 // core to the line containing addr, updating states and stats. The line is
 // filled on a miss (the caller accounts DRAM latency separately).
+//
+// This is the simulator's hottest function: every path below runs without
+// heap allocation (BenchmarkHierarchyAccess pins 0 allocs/op).
 func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 	la := h.LineAddr(addr)
 	h.Stats.DemandAccesses++
 	h.obs.Add(h.obsAccess, 1)
 
 	// L1.
-	if w := h.l1[core].lookup(la); w >= 0 {
-		ln := h.l1[core].way(la, w)
-		h.l1[core].touch(la, w)
+	l1 := h.l1[core]
+	if i := l1.findIdx(la); i >= 0 {
+		ln := &l1.lines[i]
+		l1.touchIdx(i)
 		res := Result{Lat: h.cfg.L1Lat, Level: LvlL1}
 		if ln.prefetched && !ln.used {
 			res.PrefetchHit = LvlL1
@@ -300,9 +385,10 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 	}
 
 	// L2.
-	if w := h.l2[core].lookup(la); w >= 0 {
-		ln := h.l2[core].way(la, w)
-		h.l2[core].touch(la, w)
+	l2 := h.l2[core]
+	if i := l2.findIdx(la); i >= 0 {
+		ln := &l2.lines[i]
+		l2.touchIdx(i)
 		res := Result{Lat: h.cfg.L2Lat, Level: LvlL2}
 		if ln.prefetched && !ln.used {
 			res.PrefetchHit = LvlL2
@@ -321,18 +407,22 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 	}
 
 	// L3.
-	if w := h.l3.lookup(la); w >= 0 {
-		ln := h.l3.way(la, w)
-		h.l3.touch(la, w)
+	if i := h.l3.findIdx(la); i >= 0 {
+		ln := &h.l3.lines[i]
+		h.l3.touchIdx(i)
 		res := Result{Lat: h.cfg.L3Lat, Level: LvlL3}
 		if ln.prefetched && !ln.used {
 			res.PrefetchHit = LvlL3
 			h.Stats.PrefetchL3Hits++
 		}
 		ln.used = true
-		sh := h.l3.sharersAt(la, w)
+		prefetched := ln.prefetched
+		sh := &h.l3.sharers[i]
 		state := h.serviceFromL3(core, la, sh, write)
-		h.fillPrivate(core, la, state, ln.prefetched, true)
+		h.fillPrivate(core, la, state, prefetched, true)
+		// Re-resolve the directory entry: the private fills may have
+		// evicted other lines but never move this one, so the slot index
+		// is still valid.
 		*sh |= 1 << uint(core)
 		h.Stats.DemandL3Hits++
 		h.obs.Add(h.obsL3Hit, 1)
@@ -382,17 +472,13 @@ func (h *Hierarchy) serviceFromL3(core int, la uint64, sh *uint64, write bool) u
 		if others&(1<<uint(c)) == 0 {
 			continue
 		}
-		for _, b := range []*bank{h.l1[c], h.l2[c]} {
-			if w := b.lookup(la); w >= 0 {
-				ln := b.way(la, w)
-				if ln.state == stModified || ln.state == stExclusive {
-					if ln.state == stModified {
-						h.Stats.Writebacks++
-						h.obs.Add(h.obsWriteBk, 1)
-					}
-					ln.state = stShared
-				}
-			}
+		if h.l1[c].downgrade(la) {
+			h.Stats.Writebacks++
+			h.obs.Add(h.obsWriteBk, 1)
+		}
+		if h.l2[c].downgrade(la) {
+			h.Stats.Writebacks++
+			h.obs.Add(h.obsWriteBk, 1)
 		}
 	}
 	return stShared
@@ -411,24 +497,19 @@ func (h *Hierarchy) upgrade(core int, la uint64) {
 			h.Stats.Invalidations++
 		}
 	}
-	for _, b := range []*bank{h.l1[core], h.l2[core]} {
-		if w := b.lookup(la); w >= 0 {
-			b.way(la, w).state = stModified
-		}
-	}
-	if w := h.l3.lookup(la); w >= 0 {
-		*h.l3.sharersAt(la, w) = 1 << uint(core)
+	h.l1[core].setModified(la)
+	h.l2[core].setModified(la)
+	if i := h.l3.findIdx(la); i >= 0 {
+		h.l3.sharers[i] = 1 << uint(core)
 	}
 }
 
 // markUsed propagates the demanded bit down so Fig. 15 counts each
 // prefetched line once.
 func (h *Hierarchy) markUsed(core int, la uint64) {
-	for _, b := range []*bank{h.l1[core], h.l2[core], h.l3} {
-		if w := b.lookup(la); w >= 0 {
-			b.way(la, w).used = true
-		}
-	}
+	h.l1[core].markUsed(la)
+	h.l2[core].markUsed(la)
+	h.l3.markUsed(la)
 }
 
 func (h *Hierarchy) fillPrivate(core int, la uint64, state uint8, prefetched, used bool) {
@@ -438,61 +519,75 @@ func (h *Hierarchy) fillPrivate(core int, la uint64, state uint8, prefetched, us
 
 func (h *Hierarchy) fillL1(core int, la uint64, state uint8, prefetched, used bool) {
 	b := h.l1[core]
-	if w := b.lookup(la); w >= 0 {
-		b.touch(la, w)
+	i, hit := b.findOrVictim(la)
+	if hit {
+		b.touchIdx(i)
 		return
 	}
-	w := b.victim(la)
-	set := b.set(la)
 	// A dirty L1 victim falls back to L2/L3 silently (inclusive hierarchy:
 	// the outer levels still hold the line and the directory bit).
-	set[w] = line{tag: la + 1, state: state, prefetched: prefetched, used: used}
-	b.touch(la, w)
+	b.lines[i] = line{tag: la + 1, state: state, prefetched: prefetched, used: used}
+	b.touchIdx(i)
 }
 
 func (h *Hierarchy) fillL2(core int, la uint64, state uint8, prefetched, used bool) {
 	b := h.l2[core]
-	if w := b.lookup(la); w >= 0 {
-		b.touch(la, w)
+	i, hit := b.findOrVictim(la)
+	if hit {
+		b.touchIdx(i)
 		return
 	}
-	w := b.victim(la)
-	set := b.set(la)
-	if set[w].tag != 0 {
+	if v := &b.lines[i]; v.tag != 0 {
+		victimAddr := v.tag - 1
+		dirty := v.state == stModified
 		// L1 must stay a subset of L2.
-		victimAddr := set[w].tag - 1
-		h.l1[core].invalidate(victimAddr)
+		if st, ok := h.l1[core].invalidate(victimAddr); ok && st == stModified {
+			dirty = true
+		}
+		if dirty {
+			// The victim leaves the private levels with modified data; the
+			// inclusive L3 copy becomes the owner of that dirtiness so its
+			// eventual eviction generates the writeback (previously the
+			// dirty state was dropped here and the writeback undercounted).
+			if li := h.l3.findIdx(victimAddr); li >= 0 {
+				h.l3.lines[li].state = stModified
+			} else {
+				// Inclusion should make this unreachable; account the
+				// writeback directly rather than lose it.
+				h.Stats.Writebacks++
+				h.obs.Add(h.obsWriteBk, 1)
+			}
+		}
 	}
-	set[w] = line{tag: la + 1, state: state, prefetched: prefetched, used: used}
-	b.touch(la, w)
+	b.lines[i] = line{tag: la + 1, state: state, prefetched: prefetched, used: used}
+	b.touchIdx(i)
 }
 
 func (h *Hierarchy) fillL3(core int, la uint64, modified, prefetched bool) {
 	b := h.l3
-	if w := b.lookup(la); w >= 0 {
-		b.touch(la, w)
-		*b.sharersAt(la, w) |= 1 << uint(core)
+	i, hit := b.findOrVictim(la)
+	if hit {
+		b.touchIdx(i)
+		b.sharers[i] |= 1 << uint(core)
 		return
 	}
-	w := b.victim(la)
-	set := b.set(la)
-	if set[w].tag != 0 {
-		victimAddr := set[w].tag - 1
-		h.evictL3(victimAddr, w)
+	if b.lines[i].tag != 0 {
+		h.evictL3(b.lines[i].tag-1, i)
 	}
 	st := uint8(stExclusive)
 	if modified {
 		st = stModified
 	}
-	set[w] = line{tag: la + 1, state: st, prefetched: prefetched}
-	*b.sharersAt(la, w) = 1 << uint(core)
-	b.touch(la, w)
+	b.lines[i] = line{tag: la + 1, state: st, prefetched: prefetched}
+	b.sharers[i] = 1 << uint(core)
+	b.touchIdx(i)
 }
 
 // evictL3 back-invalidates every private copy (inclusive hierarchy) and
-// accounts writebacks and unused-prefetch evictions.
-func (h *Hierarchy) evictL3(victimAddr uint64, w int) {
-	ln := h.l3.way(victimAddr, w)
+// accounts writebacks and unused-prefetch evictions. i is the victim's
+// global slot index in the L3 bank.
+func (h *Hierarchy) evictL3(victimAddr uint64, i int) {
+	ln := &h.l3.lines[i]
 	dirty := ln.state == stModified
 	for c := 0; c < h.cfg.Cores; c++ {
 		if st, ok := h.l1[c].invalidate(victimAddr); ok && st == stModified {
@@ -525,13 +620,13 @@ func (h *Hierarchy) TouchUsed(core int, addr uint64) {
 // updating any state. Prefetchers use it to skip redundant requests.
 func (h *Hierarchy) Probe(core int, addr uint64) Level {
 	la := h.LineAddr(addr)
-	if h.l1[core].lookup(la) >= 0 {
+	if h.l1[core].findIdx(la) >= 0 {
 		return LvlL1
 	}
-	if h.l2[core].lookup(la) >= 0 {
+	if h.l2[core].findIdx(la) >= 0 {
 		return LvlL2
 	}
-	if h.l3.lookup(la) >= 0 {
+	if h.l3.findIdx(la) >= 0 {
 		return LvlL3
 	}
 	return LvlNone
@@ -556,9 +651,9 @@ func (h *Hierarchy) fillPrefetchAt(core int, addr uint64, fromLevel Level, l2Onl
 	h.obs.Add(h.obsPFFill, 1)
 	if fromLevel == LvlMem {
 		h.fillL3(core, la, false, true)
-	} else if w := h.l3.lookup(la); w >= 0 {
-		*h.l3.sharersAt(la, w) |= 1 << uint(core)
-		h.l3.touch(la, w)
+	} else if i := h.l3.findIdx(la); i >= 0 {
+		h.l3.sharers[i] |= 1 << uint(core)
+		h.l3.touchIdx(i)
 	}
 	h.fillL2(core, la, stShared, true, false)
 	if !l2Only {

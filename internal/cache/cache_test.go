@@ -16,8 +16,73 @@ func tinyConfig(cores int) Config {
 	}
 }
 
+func mustNew(t testing.TB, cfg Config) *Hierarchy {
+	t.Helper()
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := tinyConfig(1).Validate(); err != nil {
+		t.Fatalf("tiny config should validate, got %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.LineSize = 48 },
+		func(c *Config) { c.L1Size = 768 }, // 6 sets: not a power of two
+		func(c *Config) { c.L2Assoc = 0 },
+		func(c *Config) { c.L3Size = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := tinyConfig(1)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted bad config %+v", i, cfg)
+		}
+		if h, err := New(cfg); err == nil || h != nil {
+			t.Errorf("case %d: New accepted bad config", i)
+		}
+	}
+}
+
+// Regression test for the writeback undercount: a Modified line evicted
+// from the private levels must hand its dirtiness to the inclusive L3
+// copy, so the eventual L3 eviction still generates the writeback.
+func TestDirtyL2VictimPropagatesToL3Writeback(t *testing.T) {
+	h := mustNew(t, tinyConfig(1))
+	const base = 0x10000
+	// Fill on a read (L3 copy stays Exclusive), then upgrade to Modified
+	// in the private levels only.
+	h.Access(0, base, false)
+	h.Access(0, base, true)
+	// Evict the dirty line from L2 (2 ways, 8 sets: stride 512 B stays in
+	// L2 set 0) with two clean reads. None of this evicts it from L3.
+	h.Access(0, base+512, false)
+	h.Access(0, base+1024, false)
+	if got := h.Probe(0, base); got != LvlL3 {
+		t.Fatalf("dirty line should have fallen back to L3, at %v", got)
+	}
+	if h.Stats.Writebacks != 0 {
+		t.Fatalf("Writebacks = %d before the L3 eviction, want 0", h.Stats.Writebacks)
+	}
+	// Now push it out of L3 (4 ways, 16 sets: stride 1024 B stays in L3
+	// set 0). The victim is the dirty line; its eviction must write back.
+	for i := uint64(2); i <= 4; i++ {
+		h.Access(0, base+i*1024, false)
+	}
+	if h.Probe(0, base) != LvlNone {
+		t.Fatal("dirty line should have been evicted from L3")
+	}
+	if h.Stats.Writebacks != 1 {
+		t.Fatalf("Writebacks = %d after evicting a dirty line, want 1", h.Stats.Writebacks)
+	}
+}
+
 func TestColdMissThenHit(t *testing.T) {
-	h := New(tinyConfig(1))
+	h := mustNew(t, tinyConfig(1))
 	r := h.Access(0, 0x1000, false)
 	if r.Level != LvlMem {
 		t.Fatalf("cold access level = %v, want MEM", r.Level)
@@ -34,7 +99,7 @@ func TestColdMissThenHit(t *testing.T) {
 }
 
 func TestL1EvictionFallsBackToL2(t *testing.T) {
-	h := New(tinyConfig(1))
+	h := mustNew(t, tinyConfig(1))
 	// L1: 4 sets × 2 ways. Fill 3 lines mapping to set 0 (stride 4*64).
 	stride := uint64(4 * 64)
 	for i := uint64(0); i < 3; i++ {
@@ -49,7 +114,7 @@ func TestL1EvictionFallsBackToL2(t *testing.T) {
 
 func TestInclusionBackInvalidation(t *testing.T) {
 	cfg := tinyConfig(1)
-	h := New(cfg)
+	h := mustNew(t, cfg)
 	// Occupy one L3 set (4 ways) plus one more line in the same set,
 	// forcing an L3 eviction; the victim must leave L1/L2 too.
 	stride := uint64(16 * 64) // L3 has 16 sets
@@ -68,7 +133,7 @@ func TestInclusionBackInvalidation(t *testing.T) {
 }
 
 func TestCoherenceInvalidationOnWrite(t *testing.T) {
-	h := New(tinyConfig(2))
+	h := mustNew(t, tinyConfig(2))
 	h.Access(0, 0x2000, false)
 	h.Access(1, 0x2000, false) // both cores share the line
 	if h.Probe(1, 0x2000) != LvlL1 {
@@ -89,7 +154,7 @@ func TestCoherenceInvalidationOnWrite(t *testing.T) {
 }
 
 func TestWriteThenRemoteReadDowngrades(t *testing.T) {
-	h := New(tinyConfig(2))
+	h := mustNew(t, tinyConfig(2))
 	h.Access(0, 0x3000, true) // core0 holds M
 	r := h.Access(1, 0x3000, false)
 	if r.Level != LvlL3 {
@@ -105,7 +170,7 @@ func TestWriteThenRemoteReadDowngrades(t *testing.T) {
 }
 
 func TestPrefetchFillAndUsefulness(t *testing.T) {
-	h := New(tinyConfig(1))
+	h := mustNew(t, tinyConfig(1))
 	h.FillPrefetch(0, 0x5000, LvlMem)
 	if h.Stats.PrefetchFills != 1 {
 		t.Fatal("prefetch fill not counted")
@@ -129,7 +194,7 @@ func TestPrefetchFillAndUsefulness(t *testing.T) {
 
 func TestPrefetchEvictedBeforeUse(t *testing.T) {
 	cfg := tinyConfig(1)
-	h := New(cfg)
+	h := mustNew(t, cfg)
 	stride := uint64(16 * 64)
 	h.FillPrefetch(0, 0x50000, LvlMem)
 	// Push it out of L3 with demand traffic to the same set.
@@ -142,7 +207,7 @@ func TestPrefetchEvictedBeforeUse(t *testing.T) {
 }
 
 func TestPrefetchHitAtL2AfterL1Eviction(t *testing.T) {
-	h := New(tinyConfig(1))
+	h := mustNew(t, tinyConfig(1))
 	h.FillPrefetch(0, 0x60000, LvlMem)
 	// Evict from L1 set (2 ways) with demand lines in the same L1 set but
 	// different L2/L3 sets.
@@ -159,7 +224,7 @@ func TestPrefetchHitAtL2AfterL1Eviction(t *testing.T) {
 }
 
 func TestProbeDoesNotMutate(t *testing.T) {
-	h := New(tinyConfig(1))
+	h := mustNew(t, tinyConfig(1))
 	if h.Probe(0, 0x7000) != LvlNone {
 		t.Fatal("empty probe should be none")
 	}
@@ -174,7 +239,7 @@ func TestProbeDoesNotMutate(t *testing.T) {
 }
 
 func TestOnL3EvictCallback(t *testing.T) {
-	h := New(tinyConfig(1))
+	h := mustNew(t, tinyConfig(1))
 	var evicted []uint64
 	h.OnL3Evict = func(la uint64) { evicted = append(evicted, la) }
 	stride := uint64(16 * 64)
@@ -188,7 +253,7 @@ func TestOnL3EvictCallback(t *testing.T) {
 
 func TestScaledDefaultShape(t *testing.T) {
 	cfg := ScaledDefault(8)
-	h := New(cfg)
+	h := mustNew(t, cfg)
 	if h.cfg.L3Size != 128<<10 {
 		t.Fatal("unexpected L3 size")
 	}
@@ -202,7 +267,7 @@ func TestScaledDefaultShape(t *testing.T) {
 // L2-resident (L1 ⊆ L2) and every private line is L3-resident (inclusion).
 func TestQuickInclusion(t *testing.T) {
 	f := func(ops []uint16) bool {
-		h := New(tinyConfig(2))
+		h := mustNew(t, tinyConfig(2))
 		var touched []uint64
 		for i, op := range ops {
 			addr := uint64(op%256) * 64
@@ -235,7 +300,7 @@ func TestQuickInclusion(t *testing.T) {
 func TestQuickSingleWriter(t *testing.T) {
 	f := func(ops []uint16) bool {
 		const cores = 3
-		h := New(tinyConfig(cores))
+		h := mustNew(t, tinyConfig(cores))
 		for i, op := range ops {
 			addr := uint64(op%64) * 64
 			h.Access(i%cores, addr, op%3 == 0)

@@ -82,6 +82,11 @@ type trigState struct {
 	nextSeqIdx    int64 // next element index a sequence may start at
 	dir           int64 // current traversal direction (+1 / -1)
 	started       bool
+	// Trigger parameters resolved once at programming time (the DIG is
+	// immutable after Build), keeping map lookups off the demand hot path.
+	look       int64
+	numSeqs    int64
+	descending bool
 }
 
 // Prodigy is one core's prefetcher.
@@ -91,6 +96,10 @@ type Prodigy struct {
 	cfg  Config
 	regs []pfhr
 	trig map[dig.NodeID]*trigState
+	// byID is the node table indexed directly by NodeID (the hardware's
+	// node-table RAM); advance dereferences it once per edge per element,
+	// where DIG.NodeByID's linear scan showed up in profiles.
+	byID []*dig.Node
 	// oneStep marks a reactive demand-advance in progress: its requests go
 	// out untracked (no PFHR, no continuation) — later demands re-arm the
 	// next level, while PFHRs stay available for deep sequence walks.
@@ -138,8 +147,23 @@ func NewPrefetcher(env prefetch.Env, d *dig.DIG, cfg Config) *Prodigy {
 	for i := range p.regs {
 		p.regs[i].free = true
 	}
+	maxID := dig.NodeID(0)
+	for i := range d.Nodes {
+		if d.Nodes[i].ID > maxID {
+			maxID = d.Nodes[i].ID
+		}
+	}
+	p.byID = make([]*dig.Node, int(maxID)+1)
+	for i := range d.Nodes {
+		p.byID[d.Nodes[i].ID] = &d.Nodes[i]
+	}
 	for _, id := range d.TriggerNodes() {
-		p.trig[id] = &trigState{lastDemandIdx: -1}
+		p.trig[id] = &trigState{
+			lastDemandIdx: -1,
+			look:          int64(d.Lookahead(id)),
+			numSeqs:       int64(d.NumSeqs(id)),
+			descending:    d.TriggerCfg[id].Descending,
+		}
 	}
 	// PFHR occupancy and sequence counters for the interval metrics.
 	// Counters are shared across cores (deduped by name); the occupancy
@@ -165,6 +189,14 @@ func (p *Prodigy) Resume() { p.paused = false }
 
 // Paused reports whether prefetching is suspended.
 func (p *Prodigy) Paused() bool { return p.paused }
+
+// nodeByID is the O(1) node-table lookup (nil for unregistered IDs).
+func (p *Prodigy) nodeByID(id dig.NodeID) *dig.Node {
+	if int(id) < len(p.byID) {
+		return p.byID[id]
+	}
+	return nil
+}
 
 // FreePFHRs returns the number of free registers (test hook).
 func (p *Prodigy) FreePFHRs() int {
@@ -214,9 +246,8 @@ func (p *Prodigy) OnDemand(now int64, pc uint32, addr uint64, level cache.Level)
 		p.dropSequence(n.ElemAddr(uint64(idx)))
 	}
 
-	cfg := p.d.TriggerCfg[n.ID]
-	look := int64(p.d.Lookahead(n.ID))
-	numSeqs := int64(p.d.NumSeqs(n.ID))
+	look := ts.look
+	numSeqs := ts.numSeqs
 	if p.cfg.SingleSequence {
 		numSeqs = 1
 	}
@@ -226,7 +257,7 @@ func (p *Prodigy) OnDemand(now int64, pc uint32, addr uint64, level cache.Level)
 	// descending order; inferring it lets one DIG serve symmetric sweeps
 	// like SymGS without run-time reprogramming).
 	dir := int64(1)
-	if cfg.Descending {
+	if ts.descending {
 		dir = -1
 	} else if ts.started && idx < prevIdx {
 		dir = -1
@@ -303,7 +334,7 @@ func (p *Prodigy) dropSequence(trigAddr uint64) {
 		// abandoned: those can at best partially hide the latency the
 		// core is already paying. Walks that advanced deeper are fetching
 		// data the core needs imminently and run to completion.
-		n := p.d.NodeByID(r.node)
+		n := p.nodeByID(r.node)
 		if n == nil || !n.IsTrigger {
 			continue
 		}
@@ -474,7 +505,7 @@ func (p *Prodigy) OnFill(now int64, addr uint64, meta uint32, level cache.Level)
 	if r.free || r.gen != gen {
 		return // sequence was dropped while the request was in flight
 	}
-	n := p.d.NodeByID(r.node)
+	n := p.nodeByID(r.node)
 	trigAddr, lineAddr, bitmap := r.trigAddr, r.lineAddr, r.bitmap
 	r.free = true
 	r.gen++
@@ -502,7 +533,7 @@ func (p *Prodigy) advance(n *dig.Node, trigAddr, lineAddr uint64, bitmap uint64,
 			continue
 		}
 		for _, e := range edges {
-			dst := p.d.NodeByID(e.Dst)
+			dst := p.nodeByID(e.Dst)
 			if dst == nil {
 				continue
 			}

@@ -201,7 +201,12 @@ func (c *Core) Step(now int64) int64 {
 	// Retire.
 	retired := 0
 	for retired < c.cfg.Width && c.count > 0 && c.rob[c.head].ready <= now {
-		c.head = (c.head + 1) % len(c.rob)
+		// Branchy wrap instead of %: this runs once per retired
+		// instruction, and integer division dominated the profile.
+		c.head++
+		if c.head == len(c.rob) {
+			c.head = 0
+		}
 		c.count--
 		c.Stack.Retired++
 		retired++
@@ -334,7 +339,11 @@ func (c *Core) dispatch(now int64, in trace.Instr) {
 			c.softPF(now, in.Addr)
 		}
 	}
-	c.rob[(c.head+c.count)%len(c.rob)] = e
+	i := c.head + c.count
+	if i >= len(c.rob) {
+		i -= len(c.rob)
+	}
+	c.rob[i] = e
 	c.count++
 }
 

@@ -125,5 +125,23 @@ func (b *Builder) Build() (*DIG, error) {
 	for i, e := range d.Edges {
 		d.out[e.Src] = append(d.out[e.Src], i)
 	}
+	// Precompute the hot-path caches (see the DIG field comments): resolved
+	// out-edge slices, then longest-path depths (whose DFS reads the former).
+	d.outEdges = make([][]Edge, maxID+1)
+	for id := range d.outEdges {
+		idxs := d.out[id]
+		if len(idxs) == 0 {
+			continue
+		}
+		es := make([]Edge, len(idxs))
+		for i, e := range idxs {
+			es[i] = d.Edges[e]
+		}
+		d.outEdges[id] = es
+	}
+	d.depths = make([]int, maxID+1)
+	for id := range d.depths {
+		d.depths[id] = d.DepthFrom(NodeID(id))
+	}
 	return d, nil
 }

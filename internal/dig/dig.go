@@ -121,6 +121,13 @@ type DIG struct {
 	// out[id] lists indices into Edges of traversal edges leaving id
 	// (the hardware edge index table of Fig. 9b).
 	out [][]int
+	// outEdges[id] caches the resolved Edge values per source node and
+	// depths[id] the longest traversal path from it, both precomputed by
+	// Builder.Build so the prefetcher's per-demand hot path (OutEdges,
+	// Lookahead) never allocates. The graph is immutable after Build, so
+	// the caches survive the shallow copies the ablations make.
+	outEdges [][]Edge
+	depths   []int
 }
 
 // NodeByID returns the node with the given ID, or nil.
@@ -149,8 +156,15 @@ func (d *DIG) NodeContaining(addr uint64) *Node {
 // (the Fig. 13 "prefetchable" classification).
 func (d *DIG) Covers(addr uint64) bool { return d.NodeContaining(addr) != nil }
 
-// OutEdges returns the traversal edges leaving node id.
+// OutEdges returns the traversal edges leaving node id. The returned
+// slice is shared (Build's cache); callers must not modify it.
 func (d *DIG) OutEdges(id NodeID) []Edge {
+	if d.outEdges != nil {
+		if int(id) < len(d.outEdges) {
+			return d.outEdges[id]
+		}
+		return nil
+	}
 	if int(id) >= len(d.out) {
 		return nil
 	}
@@ -179,6 +193,9 @@ func (d *DIG) TriggerNodes() []NodeID {
 // DepthFrom returns the number of nodes on the longest traversal path
 // starting at node id (1 when the node has no outgoing edges).
 func (d *DIG) DepthFrom(id NodeID) int {
+	if int(id) < len(d.depths) && d.depths[id] > 0 {
+		return d.depths[id]
+	}
 	var dfs func(id NodeID, seen map[NodeID]bool) int
 	dfs = func(id NodeID, seen map[NodeID]bool) int {
 		if seen[id] {

@@ -1,0 +1,21 @@
+package dram
+
+import "testing"
+
+// BenchmarkControllerRequest measures demand-read scheduling with a
+// realistic share of low-priority traffic interleaved, so the slot
+// displacement logic is on the measured path.
+func BenchmarkControllerRequest(b *testing.B) {
+	c := New(Default())
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		if i&3 == 0 {
+			c.RequestPrefetch(now)
+		} else {
+			c.Request(now)
+		}
+		now += 2
+	}
+}

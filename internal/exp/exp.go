@@ -352,7 +352,7 @@ func (h *Harness) simulate(algo, dataset string, scheme Scheme, v runVariant) (*
 	if err != nil {
 		err = fmt.Errorf("exp: %s/%s: %w", w.Label(), scheme, err)
 		//lint:allow determinism aborted-run wall time feeds the JSONL record, not results
-		h.emitAbort(w.Label(), scheme, v, err, time.Since(start))
+		h.emitAbort(w.Label(), scheme, v, err, res, time.Since(start))
 		return nil, err
 	}
 	if cerr != nil {

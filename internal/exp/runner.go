@@ -216,6 +216,11 @@ type RunSummary struct {
 	Abort string `json:"abort,omitempty"`
 	// Error carries the failure message for aborted runs.
 	Error string `json:"error,omitempty"`
+	// RetiredPerCore records each core's progress at the abort point, so a
+	// timed-out sweep cell still shows how far it got (and whether one
+	// straggler core was the problem). Omitted for completed runs, whose
+	// aggregate is in Retired.
+	RetiredPerCore []int64 `json:"retired_per_core,omitempty"`
 }
 
 // abortKind classifies a simulation failure for the JSONL record. The
@@ -265,14 +270,29 @@ func (h *Harness) emitJSON(r *Run, v runVariant) {
 }
 
 // emitAbort logs a failed run to Config.JSONLog so a sweep record shows
-// which cells died and why, not just which completed.
-func (h *Harness) emitAbort(label string, scheme Scheme, v runVariant, runErr error, wall time.Duration) {
+// which cells died and why, not just which completed. res carries the
+// partial statistics the simulator collected up to the abort point
+// (zero-valued when the machine never ran, e.g. a config error).
+func (h *Harness) emitAbort(label string, scheme Scheme, v runVariant, runErr error, res sim.Result, wall time.Duration) {
 	s := RunSummary{
-		Label:  label,
-		Scheme: string(scheme),
-		WallMS: float64(wall.Microseconds()) / 1e3,
-		Abort:  abortKind(runErr),
-		Error:  runErr.Error(),
+		Label:           label,
+		Scheme:          string(scheme),
+		Cycles:          res.Cycles,
+		Retired:         res.Agg.Retired,
+		IPC:             res.IPC(),
+		DRAMUtilization: res.DRAMUtilization,
+		WallMS:          float64(wall.Microseconds()) / 1e3,
+		Abort:           abortKind(runErr),
+		Error:           runErr.Error(),
+	}
+	for _, stack := range res.Stacks {
+		s.RetiredPerCore = append(s.RetiredPerCore, stack.Retired)
+	}
+	if total := float64(res.Agg.Total()); total > 0 {
+		s.CPIStack = map[string]float64{}
+		for _, k := range cpu.StallKinds {
+			s.CPIStack[k.String()] = float64(res.Agg.Cycles[k]) / total
+		}
 	}
 	if v != (runVariant{}) {
 		s.Variant = fmt.Sprintf("%+v", v)

@@ -214,6 +214,14 @@ func TestMaxCyclesThreaded(t *testing.T) {
 	if s.Abort != "max-cycles" {
 		t.Errorf("abort = %q, want max-cycles", s.Abort)
 	}
+	// The abort record still reports the progress the run made: cycles
+	// simulated so far and each core's retired count.
+	if s.Cycles == 0 {
+		t.Errorf("abort record has no cycles-so-far: %+v", s)
+	}
+	if len(s.RetiredPerCore) == 0 {
+		t.Errorf("abort record missing retired_per_core: %+v", s)
+	}
 }
 
 // TestProgressAndJSONReporting checks the observability surfaces: the

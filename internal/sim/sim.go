@@ -131,12 +131,6 @@ func (r *Result) IPC() float64 {
 	return float64(r.Agg.Retired) / float64(r.Cycles)
 }
 
-// inflightKey identifies an in-flight prefetch line per core.
-type inflightKey struct {
-	core int
-	line uint64
-}
-
 // pfEvent is a pending prefetch completion.
 type pfEvent struct {
 	ready        int64
@@ -178,9 +172,15 @@ type Machine struct {
 	pfs   []prefetch.Prefetcher
 	cores []*cpu.Core
 
-	now      int64
-	events   eventHeap
-	inflight map[inflightKey]*pfEvent
+	now    int64
+	events eventHeap
+	// inflight maps line index -> pending event, one map per core: the
+	// hot path avoids hashing a two-field struct key, and each map stays
+	// small (bounded by the per-core MSHR cap).
+	inflight []map[uint64]*pfEvent
+	// pfFree recycles completed pfEvents (and their metas backing arrays)
+	// so steady-state prefetch traffic allocates nothing.
+	pfFree []*pfEvent
 	// inflightPerCore tracks outstanding prefetch lines against the MSHR
 	// cap.
 	inflightPerCore []int
@@ -195,20 +195,29 @@ type Machine struct {
 }
 
 // NewMachine wires a machine to a functional memory and per-core
-// instruction streams.
-func NewMachine(cfg Config, space *memspace.Space, gen *trace.Gen) *Machine {
+// instruction streams. An invalid configuration (e.g. a cache geometry
+// whose set count is not a power of two) is reported as an error, so a
+// bad sweep point fails as a run error instead of a worker panic.
+func NewMachine(cfg Config, space *memspace.Space, gen *trace.Gen) (*Machine, error) {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 1 << 40
 	}
 	if cfg.PrefetchMSHRs == 0 {
 		cfg.PrefetchMSHRs = 128
 	}
+	hier, err := cache.New(cfg.Cache)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	m := &Machine{
-		cfg:      cfg,
-		space:    space,
-		hier:     cache.New(cfg.Cache),
-		mem:      dram.New(cfg.DRAM),
-		inflight: map[inflightKey]*pfEvent{},
+		cfg:   cfg,
+		space: space,
+		hier:  hier,
+		mem:   dram.New(cfg.DRAM),
+	}
+	m.inflight = make([]map[uint64]*pfEvent, cfg.Cores)
+	for c := range m.inflight {
+		m.inflight[c] = map[uint64]*pfEvent{}
 	}
 	m.inflightPerCore = make([]int, cfg.Cores)
 	if cfg.Obs != nil {
@@ -250,7 +259,7 @@ func NewMachine(cfg Config, space *memspace.Space, gen *trace.Gen) *Machine {
 		cc.AttachObs(cfg.Obs, core)
 		m.cores = append(m.cores, cc)
 	}
-	return m
+	return m, nil
 }
 
 // levelLat maps a service level to its cumulative hit latency.
@@ -274,27 +283,35 @@ func (m *Machine) demandAccess(core int, now int64, in trace.Instr) (int64, cach
 
 	// Merge with an in-flight prefetch of the same line: the demand waits
 	// for the outstanding fill instead of issuing its own request.
-	key := inflightKey{core, addr / uint64(m.cfg.Cache.LineSize)}
-	if ev, ok := m.inflight[key]; ok {
+	if ev, ok := m.inflight[core][addr/uint64(m.cfg.Cache.LineSize)]; ok {
 		ev.demandMerged = true
 		m.stats.LateMerges++
 		m.cfg.Obs.Add(m.obsLateMerge, 1)
-		// Promote the in-flight prefetch to demand priority (MSHR
-		// promotion): a prefetch deep in the low-priority queue must not
-		// make the demand wait longer than a fresh demand read would. The
-		// line transfer is already booked, so no new bandwidth is consumed.
-		if ev.level == cache.LvlMem {
-			promoted := m.mem.Promote(now + tlbLat + int64(m.cfg.Cache.L3Lat))
-			if promoted < ev.ready {
-				ev.ready = promoted
-				heap.Fix(&m.events, ev.idx)
+		var ready int64
+		if in.Kind == trace.Store {
+			// Plain stores drain through the store buffer: the core moves on
+			// at once, exactly as on the DRAM-miss path below. The in-flight
+			// prefetch already booked the line transfer, so no promotion and
+			// no extra bandwidth; only atomics wait for the fill.
+			ready = now + 1
+		} else {
+			// Promote the in-flight prefetch to demand priority (MSHR
+			// promotion): a prefetch deep in the low-priority queue must not
+			// make the demand wait longer than a fresh demand read would. The
+			// line transfer is already booked, so no new bandwidth is consumed.
+			if ev.level == cache.LvlMem {
+				promoted := m.mem.Promote(now + tlbLat + int64(m.cfg.Cache.L3Lat))
+				if promoted < ev.ready {
+					ev.ready = promoted
+					heap.Fix(&m.events, ev.idx)
+				}
 			}
+			base := ev.ready
+			if base < now {
+				base = now
+			}
+			ready = base + tlbLat + int64(m.cfg.Cache.L1Lat)
 		}
-		base := ev.ready
-		if base < now {
-			base = now
-		}
-		ready := base + tlbLat + int64(m.cfg.Cache.L1Lat)
 		m.pfs[core].OnDemand(now, in.PC, addr, ev.level)
 		return ready, ev.level
 	}
@@ -327,8 +344,7 @@ func (m *Machine) demandAccess(core int, now int64, in trace.Instr) (int64, cach
 func (m *Machine) issuePrefetch(core int, addr uint64, meta uint32) bool {
 	line := uint64(m.cfg.Cache.LineSize)
 	lineAddr := addr / line * line
-	key := inflightKey{core, lineAddr / line}
-	if ev, ok := m.inflight[key]; ok {
+	if ev, ok := m.inflight[core][lineAddr/line]; ok {
 		if meta != prefetch.UntrackedMeta && !containsMeta(ev.metas, meta) {
 			// Duplicate metas would deliver duplicate OnFill callbacks for
 			// one physical fill, letting fill-cascading prefetchers
@@ -362,12 +378,20 @@ func (m *Machine) issuePrefetch(core int, addr uint64, meta uint32) bool {
 		ready = m.now + tlbLat + m.levelLat(lvl)
 		level = lvl
 	}
-	ev := &pfEvent{ready: ready, core: core, lineAddr: lineAddr, level: level}
+	var ev *pfEvent
+	if n := len(m.pfFree); n > 0 {
+		ev = m.pfFree[n-1]
+		m.pfFree[n-1] = nil
+		m.pfFree = m.pfFree[:n-1]
+		ev.ready, ev.core, ev.lineAddr, ev.level = ready, core, lineAddr, level
+	} else {
+		ev = &pfEvent{ready: ready, core: core, lineAddr: lineAddr, level: level}
+	}
 	if meta != prefetch.UntrackedMeta {
 		ev.metas = append(ev.metas, meta)
 	}
 	heap.Push(&m.events, ev)
-	m.inflight[key] = ev
+	m.inflight[core][lineAddr/line] = ev
 	m.inflightPerCore[core]++
 	m.stats.PrefetchIssued++
 	if m.cfg.Obs != nil {
@@ -392,7 +416,7 @@ func containsMeta(metas []uint32, m uint32) bool {
 func (m *Machine) processEvents(now int64) {
 	for len(m.events) > 0 && m.events[0].ready <= now {
 		ev := heap.Pop(&m.events).(*pfEvent)
-		delete(m.inflight, inflightKey{ev.core, ev.lineAddr / uint64(m.cfg.Cache.LineSize)})
+		delete(m.inflight[ev.core], ev.lineAddr/uint64(m.cfg.Cache.LineSize))
 		m.inflightPerCore[ev.core]--
 		m.now = now
 		if m.cfg.PrefetchFillL2 {
@@ -412,6 +436,13 @@ func (m *Machine) processEvents(now int64) {
 		for _, meta := range ev.metas {
 			m.pfs[ev.core].OnFill(now, ev.lineAddr, meta, ev.level)
 		}
+		// Recycle only after the OnFill callbacks: they may issue new
+		// prefetches, which draw from the same pool. metas keeps its
+		// backing array so re-use appends without allocating.
+		ev.metas = ev.metas[:0]
+		ev.demandMerged = false
+		ev.flowID = 0
+		m.pfFree = append(m.pfFree, ev)
 	}
 }
 
@@ -436,13 +467,47 @@ func (m *Machine) allActiveParked() bool {
 // deadline aborts before any work).
 const interruptPollMask = 63
 
-// Run drives the machine to completion and returns the results.
+// collect assembles the Result as of cycle now: it closes each core's CPI
+// attribution at now and snapshots every component's counters. Both the
+// clean-completion and abort paths use it, so an aborted run still reports
+// cycles-so-far and per-core retired counts instead of an empty Result.
+func (m *Machine) collect(now int64) Result {
+	res := Result{Cycles: now, Prefetchers: m.pfs}
+	var tlbMiss float64
+	for i, c := range m.cores {
+		c.FinishAt(now)
+		res.Stacks = append(res.Stacks, c.Stack)
+		res.Agg.Add(c.Stack)
+		res.Branches += c.Branches
+		res.Mispredicts += c.Mispredicts
+		tlbMiss += m.tlbs[i].MissRate()
+	}
+	res.TLBMissRate = tlbMiss / float64(len(m.cores))
+	res.Cache = m.hier.Stats
+	res.DRAM = m.mem.Stats
+	res.Sim = m.stats
+	res.DRAMUtilization = m.mem.Utilization(now)
+	return res
+}
+
+// abort closes out an aborted run: partial results up to now, plus the
+// wrapped sentinel so callers can classify the cause with errors.Is.
+func (m *Machine) abort(now int64, err error) (Result, error) {
+	// Collect first: FinishAt attributes each core's stall tail, which the
+	// recorder's final intervals must still see.
+	res := m.collect(now)
+	_ = m.cfg.Obs.Finish(now)
+	return res, err
+}
+
+// Run drives the machine to completion and returns the results. On abort
+// (ErrInterrupted, ErrMaxCycles, ErrDeadlock) the Result still carries the
+// progress made so far — cycles, per-core CPI stacks, component stats.
 func (m *Machine) Run() (Result, error) {
 	now := int64(0)
 	for iter := 0; ; iter++ {
 		if m.cfg.Interrupt != nil && iter&interruptPollMask == 0 && m.cfg.Interrupt() {
-			_ = m.cfg.Obs.Finish(now)
-			return Result{}, fmt.Errorf("sim: %w at cycle %d", ErrInterrupted, now)
+			return m.abort(now, fmt.Errorf("sim: %w at cycle %d", ErrInterrupted, now))
 		}
 		m.processEvents(now)
 		m.now = now
@@ -486,31 +551,15 @@ func (m *Machine) Run() (Result, error) {
 		}
 		if next >= int64(1)<<62 {
 			// All cores claim no progress is possible but none are done.
-			_ = m.cfg.Obs.Finish(now)
-			return Result{}, fmt.Errorf("sim: %w at cycle %d", ErrDeadlock, now)
+			return m.abort(now, fmt.Errorf("sim: %w at cycle %d", ErrDeadlock, now))
 		}
 		now = next
 		if now > m.cfg.MaxCycles {
-			_ = m.cfg.Obs.Finish(now)
-			return Result{}, fmt.Errorf("sim: %w (limit %d)", ErrMaxCycles, m.cfg.MaxCycles)
+			return m.abort(now, fmt.Errorf("sim: %w (limit %d)", ErrMaxCycles, m.cfg.MaxCycles))
 		}
 	}
 
-	res := Result{Cycles: now, Prefetchers: m.pfs}
-	var tlbMiss float64
-	for i, c := range m.cores {
-		c.FinishAt(now)
-		res.Stacks = append(res.Stacks, c.Stack)
-		res.Agg.Add(c.Stack)
-		res.Branches += c.Branches
-		res.Mispredicts += c.Mispredicts
-		tlbMiss += m.tlbs[i].MissRate()
-	}
-	res.TLBMissRate = tlbMiss / float64(len(m.cores))
-	res.Cache = m.hier.Stats
-	res.DRAM = m.mem.Stats
-	res.Sim = m.stats
-	res.DRAMUtilization = m.mem.Utilization(now)
+	res := m.collect(now)
 	// FinishAt attributed every core's tail; flush the remaining intervals
 	// and close the trace. Export failures (e.g. a full disk) surface as
 	// run errors — silently truncated metrics would be worse.
@@ -524,7 +573,10 @@ func (m *Machine) Run() (Result, error) {
 // producer emits instruction streams into gen while the machine consumes
 // them.
 func Run(cfg Config, space *memspace.Space, gen *trace.Gen, producer func(*trace.Gen)) (Result, error) {
-	m := NewMachine(cfg, space, gen)
+	m, err := NewMachine(cfg, space, gen)
+	if err != nil {
+		return Result{}, err
+	}
 	wait := gen.Run(producer)
 	res, err := m.Run()
 	// Unblock the producer if the machine stopped early (error, interrupt):

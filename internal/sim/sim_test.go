@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -12,6 +13,15 @@ import (
 	"prodigy/internal/prefetch"
 	"prodigy/internal/trace"
 )
+
+func mustMachine(t testing.TB, cfg Config, space *memspace.Space, gen *trace.Gen) *Machine {
+	t.Helper()
+	m, err := NewMachine(cfg, space, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
 
 // seqWorkload emits a sequential scan over arr (one load per element).
 func seqWorkload(arr *memspace.U32) func(*trace.Gen) {
@@ -327,7 +337,7 @@ func TestLevelServiceClassification(t *testing.T) {
 	// service level for stall classification.
 	space := memspace.New()
 	arr := space.AllocU32("a", 64)
-	m := NewMachine(Default(1), space, trace.NewGen(1, 0))
+	m := mustMachine(t, Default(1), space, trace.NewGen(1, 0))
 	m.now = 0
 	m.issuePrefetch(0, arr.Addr(0), prefetch.UntrackedMeta)
 	ready, level := m.demandAccess(0, 1, trace.Instr{Kind: trace.Load, Addr: arr.Addr(0), PC: 1})
@@ -347,7 +357,7 @@ func TestPrefetchMSHRCap(t *testing.T) {
 	arr := space.AllocU32("a", 1<<14)
 	cfg := Default(1)
 	cfg.PrefetchMSHRs = 4
-	m := NewMachine(cfg, space, trace.NewGen(1, 0))
+	m := mustMachine(t, cfg, space, trace.NewGen(1, 0))
 	m.now = 0
 	accepted := 0
 	for i := 0; i < 10; i++ {
@@ -376,7 +386,7 @@ func TestDemandPriorityKeepsDemandsFast(t *testing.T) {
 	space := memspace.New()
 	arr := space.AllocU32("a", 1<<16)
 	cfg := Default(1)
-	m := NewMachine(cfg, space, trace.NewGen(1, 0))
+	m := mustMachine(t, cfg, space, trace.NewGen(1, 0))
 	m.now = 0
 	for i := 0; i < 100; i++ {
 		m.issuePrefetch(0, arr.Addr(i*16), prefetch.UntrackedMeta)
@@ -439,5 +449,69 @@ func TestInterruptPolledDuringRun(t *testing.T) {
 	}
 	if res.Agg.Retired != 2*(1<<14) {
 		t.Fatalf("retired = %d", res.Agg.Retired)
+	}
+}
+
+func TestNewMachineRejectsBadConfig(t *testing.T) {
+	space := memspace.New()
+	cfg := Default(1)
+	cfg.Cache.L1Size = 768 // 6 sets per way: not a power of two
+	if _, err := NewMachine(cfg, space, trace.NewGen(1, 0)); err == nil {
+		t.Fatal("NewMachine accepted a non-power-of-two cache geometry")
+	}
+	// The same bad point must surface as a run error, not a panic.
+	if _, err := Run(cfg, space, trace.NewGen(1, 1<<20), func(g *trace.Gen) {}); err == nil {
+		t.Fatal("Run accepted a bad config")
+	}
+}
+
+func TestMergedStoreDrainsThroughStoreBuffer(t *testing.T) {
+	// A plain store that merges with an in-flight prefetch must not wait
+	// for the fill: it drains through the store buffer at now+1, exactly
+	// like the DRAM-miss store path. Atomics still wait.
+	space := memspace.New()
+	arr := space.AllocU32("a", 1024)
+	m := mustMachine(t, Default(1), space, trace.NewGen(1, 0))
+	m.now = 0
+	m.issuePrefetch(0, arr.Addr(0), prefetch.UntrackedMeta)
+	m.issuePrefetch(0, arr.Addr(256), prefetch.UntrackedMeta)
+
+	ready, level := m.demandAccess(0, 1, trace.Instr{Kind: trace.Store, Addr: arr.Addr(0), PC: 1})
+	if level != cache.LvlMem {
+		t.Fatalf("merged store level = %v, want MEM", level)
+	}
+	if ready != 2 {
+		t.Fatalf("merged store ready at %d, want now+1 = 2 (store buffer)", ready)
+	}
+	if m.stats.LateMerges != 1 {
+		t.Fatalf("LateMerges = %d, want 1", m.stats.LateMerges)
+	}
+
+	ready, _ = m.demandAccess(0, 1, trace.Instr{Kind: trace.Atomic, Addr: arr.Addr(256), PC: 2})
+	if ready <= 2 {
+		t.Fatalf("merged atomic ready at %d, must wait for the fill", ready)
+	}
+}
+
+func TestAbortReturnsPartialStats(t *testing.T) {
+	space := memspace.New()
+	arr := space.AllocU32("a", 1<<14)
+	cfg := Default(1)
+	cfg.MaxCycles = 2000
+	res, err := Run(cfg, space, trace.NewGen(1, 1<<20), seqWorkload(arr))
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("aborted run reported no cycles")
+	}
+	if len(res.Stacks) != 1 {
+		t.Fatalf("aborted run has %d CPI stacks, want 1", len(res.Stacks))
+	}
+	if res.Stacks[0].Total() != res.Cycles {
+		t.Fatalf("aborted stack attributes %d of %d cycles", res.Stacks[0].Total(), res.Cycles)
+	}
+	if res.Cache.DemandAccesses == 0 {
+		t.Fatal("aborted run reported no cache activity")
 	}
 }

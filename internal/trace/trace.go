@@ -118,7 +118,7 @@ func (r *Reader) Next() (Instr, bool) {
 		if r.done {
 			return Instr{}, false
 		}
-		c, ok := r.gen.pop(r.s)
+		c, ok := r.gen.pop(r.s, r.cur)
 		if !ok {
 			r.done = true
 			r.cur = nil
@@ -156,6 +156,10 @@ type Gen struct {
 	waiting bool // consumer is parked awaiting the next epoch
 	aborted bool // consumer abandoned the run; discard all further output
 	async   bool
+	// free recycles fully-consumed chunk buffers back to the producer
+	// (guarded by mu): steady-state emission reuses a handful of
+	// chunkSize-capacity arrays instead of growing fresh ones each epoch.
+	free [][]Instr
 }
 
 // NewGen creates a generator for ncores cores. maxBuffered > 0 selects
@@ -189,10 +193,14 @@ func (g *Gen) Reader(core int) *Reader { return g.readers[core] }
 
 // pop hands the consumer the next chunk of s, parking (and thereby handing
 // the turn to the producer) while none is available. Returns ok=false once
-// the stream is closed and empty.
-func (g *Gen) pop(s *Stream) ([]Instr, bool) {
+// the stream is closed and empty. used is the chunk the reader just
+// finished; its backing array is recycled for the producer to refill.
+func (g *Gen) pop(s *Stream, used []Instr) ([]Instr, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if cap(used) > 0 {
+		g.free = append(g.free, used[:0])
+	}
 	for len(s.chunks) == 0 && !s.closed {
 		g.waiting = true
 		g.cond.Broadcast()
@@ -263,8 +271,27 @@ func (g *Gen) Abort() {
 	g.cond.Broadcast()
 }
 
+// newBuf returns an empty chunk buffer, reusing a recycled backing array
+// when one is available.
+func (g *Gen) newBuf() []Instr {
+	g.mu.Lock()
+	if n := len(g.free); n > 0 {
+		b := g.free[n-1]
+		g.free[n-1] = nil
+		g.free = g.free[:n-1]
+		g.mu.Unlock()
+		return b
+	}
+	g.mu.Unlock()
+	return make([]Instr, 0, chunkSize)
+}
+
 func (g *Gen) emit(core int, in Instr) {
-	b := append(g.bufs[core], in)
+	b := g.bufs[core]
+	if b == nil {
+		b = g.newBuf()
+	}
+	b = append(b, in)
 	if len(b) >= chunkSize {
 		g.stage(core, b)
 		b = nil
