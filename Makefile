@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint fmt test race bench bench-json tables trace-demo
+.PHONY: check build vet lint fmt test race bench bench-json stat-smoke tables trace-demo
 
-check: build vet lint race
+check: build vet lint race stat-smoke
 
 build:
 	$(GO) build ./...
@@ -35,12 +35,26 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Hot-path performance gate: run the microbenchmarks and a wall-clock
-# timing of `prodigy-bench -quick`, write BENCH_4.json, and fail if
-# allocs/op on BenchmarkHierarchyAccess regresses above the committed
-# baseline (docs/ARCHITECTURE.md §Performance).
+# Hot-path performance gate: run the microbenchmarks, a wall-clock timing
+# of `prodigy-bench -quick`, and the quick prefetch-quality sweep; write
+# BENCH_5.json and fail if allocs/op on the gated benchmarks or Prodigy's
+# accuracy/coverage regress below the committed baseline
+# (docs/ARCHITECTURE.md §Performance).
 bench-json:
-	$(GO) run ./cmd/bench-json -out BENCH_4.json
+	$(GO) run ./cmd/bench-json -out BENCH_5.json
+
+# Smoke test for the prodigy-stat regression gate: a plain diff of the
+# committed fixtures must pass, and a tight -fail-on threshold must fail
+# (exit 1), proving the gate actually bites.
+stat-smoke:
+	@$(GO) run ./cmd/prodigy-stat diff \
+		cmd/prodigy-stat/testdata/base.jsonl cmd/prodigy-stat/testdata/new.jsonl > /dev/null
+	@if $(GO) run ./cmd/prodigy-stat diff -fail-on accuracy=1 \
+		cmd/prodigy-stat/testdata/base.jsonl cmd/prodigy-stat/testdata/new.jsonl > /dev/null 2>&1; then \
+		echo "stat-smoke: -fail-on accuracy=1 should have failed"; exit 1; \
+	else \
+		echo "stat-smoke: ok (plain diff passes, threshold gate bites)"; \
+	fi
 
 # Regenerate every paper table/figure at paper scale (slow).
 tables:

@@ -1,13 +1,18 @@
 // Command bench-json runs the repo's performance gate: the hot-path
 // microbenchmarks (internal/cache, internal/sim, internal/dram) plus a
-// wall-clock timing of `prodigy-bench -quick`, written as one JSON
-// document (BENCH_<n>.json, see docs/ARCHITECTURE.md §Performance).
+// wall-clock timing of `prodigy-bench -quick` and an in-process quick
+// sweep recording Prodigy's prefetch accuracy/coverage/timeliness,
+// written as one JSON document (BENCH_<n>.json, see docs/ARCHITECTURE.md
+// §Performance).
 //
 // When the output file already exists it doubles as the baseline: the
-// run fails (exit 1) if allocs/op on BenchmarkHierarchyAccess regresses
-// above the committed value, so the demand hot path stays allocation-free
-// by construction. ns/op and wall time are recorded but not gated — they
-// vary with the host.
+// run fails (exit 1) if allocs/op on BenchmarkHierarchyAccess or
+// BenchmarkFillPrefetch regresses above the committed value, or if the
+// quick sweep's Prodigy accuracy or coverage drops below the committed
+// baseline (beyond a small tolerance), so the hot path stays
+// allocation-free and the prefetcher stays effective by construction.
+// ns/op and wall time are recorded but not gated — they vary with the
+// host.
 package main
 
 import (
@@ -19,9 +24,12 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"prodigy/internal/exp"
 )
 
 // Bench is one microbenchmark's result (per-op metrics from -benchmem).
@@ -29,6 +37,14 @@ type Bench struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Quality is one quick-sweep cell's prefetch-quality ratios (see
+// sim.PrefetchQuality for the lifecycle definitions).
+type Quality struct {
+	Accuracy   float64 `json:"accuracy"`
+	Coverage   float64 `json:"coverage"`
+	Timeliness float64 `json:"timeliness"`
 }
 
 // Doc is the BENCH_<n>.json schema.
@@ -43,11 +59,30 @@ type Doc struct {
 	// QuickBenchMS is the best-of-N wall time of `prodigy-bench -quick`.
 	QuickBenchMS int64 `json:"quick_bench_ms"`
 	QuickRuns    int   `json:"quick_runs"`
+	// Quality maps quick-sweep cell ("algo-dataset/scheme") to its
+	// prefetch-quality ratios. Deterministic (simulated cycles only), so
+	// unlike ns/op it is gated: accuracy/coverage must not regress.
+	Quality map[string]Quality `json:"quality,omitempty"`
 }
 
-// gated names the benchmark whose allocs/op may never grow past the
-// committed baseline.
-const gated = "BenchmarkHierarchyAccess"
+// gated lists the benchmarks whose allocs/op may never grow past the
+// committed baseline: the demand hot path and the prefetch-fill path,
+// both carrying the always-on lifecycle telemetry.
+var gated = []string{"BenchmarkHierarchyAccess", "BenchmarkFillPrefetch"}
+
+// qualityCells is the quick sweep measured for the quality gate.
+var qualityCells = []struct {
+	algo, dataset string
+}{
+	{"bfs", "po"},
+	{"pr", "po"},
+	{"cc", "po"},
+}
+
+// qualityTolerance absorbs float jitter in the regression comparison;
+// the simulation itself is deterministic, so any real regression clears
+// this easily.
+const qualityTolerance = 0.002
 
 // suites lists the hot-path benchmarks (package -> -bench regexp). The
 // sim filter must not match BenchmarkRunObs*, which run full simulations.
@@ -58,7 +93,7 @@ var suites = []struct{ pkg, pattern string }{
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output (and baseline) JSON file")
+	out := flag.String("out", "BENCH_5.json", "output (and baseline) JSON file")
 	quickRuns := flag.Int("quick-runs", 3, "prodigy-bench -quick repetitions (best is kept); 0 skips")
 	flag.Parse()
 
@@ -107,20 +142,28 @@ func run(out string, quickRuns int) error {
 		fmt.Printf("== prodigy-bench -quick: best of %d = %d ms\n", quickRuns, ms)
 	}
 
-	// The allocation gate: compare against the committed file before
-	// overwriting it.
+	if err := measureQuality(&doc); err != nil {
+		return err
+	}
+
+	// The gates: compare against the committed file before overwriting it.
 	if baseline != nil {
-		base, haveBase := baseline.Benchmarks[gated]
-		got, haveGot := doc.Benchmarks[gated]
-		switch {
-		case !haveGot:
-			return fmt.Errorf("%s missing from this run", gated)
-		case haveBase && got.AllocsPerOp > base.AllocsPerOp:
-			return fmt.Errorf("%s allocs/op regressed: %d > baseline %d (%s)",
-				gated, got.AllocsPerOp, base.AllocsPerOp, out)
-		case haveBase:
-			fmt.Printf("== alloc gate: %s %d allocs/op <= baseline %d: ok\n",
-				gated, got.AllocsPerOp, base.AllocsPerOp)
+		for _, name := range gated {
+			base, haveBase := baseline.Benchmarks[name]
+			got, haveGot := doc.Benchmarks[name]
+			switch {
+			case !haveGot:
+				return fmt.Errorf("%s missing from this run", name)
+			case haveBase && got.AllocsPerOp > base.AllocsPerOp:
+				return fmt.Errorf("%s allocs/op regressed: %d > baseline %d (%s)",
+					name, got.AllocsPerOp, base.AllocsPerOp, out)
+			case haveBase:
+				fmt.Printf("== alloc gate: %s %d allocs/op <= baseline %d: ok\n",
+					name, got.AllocsPerOp, base.AllocsPerOp)
+			}
+		}
+		if err := gateQuality(baseline, &doc, out); err != nil {
+			return err
 		}
 	}
 
@@ -132,6 +175,71 @@ func run(out string, quickRuns int) error {
 		return err
 	}
 	fmt.Println("wrote", out)
+	return nil
+}
+
+// measureQuality runs the quick sweep in-process (Prodigy scheme on each
+// quality cell) and records the aggregate prefetch-quality ratios.
+func measureQuality(doc *Doc) error {
+	fmt.Println("== quick sweep: prefetch quality (prodigy)")
+	h := exp.New(exp.Quick())
+	doc.Quality = map[string]Quality{}
+	for _, c := range qualityCells {
+		r, err := h.RunOne(c.algo, c.dataset, exp.SchemeProdigy)
+		if err != nil {
+			return fmt.Errorf("quality sweep %s-%s: %w", c.algo, c.dataset, err)
+		}
+		q := r.Res.PFQAgg
+		key := r.Label + "/" + string(exp.SchemeProdigy)
+		doc.Quality[key] = Quality{
+			Accuracy:   q.Accuracy(),
+			Coverage:   q.Coverage(),
+			Timeliness: q.Timeliness(),
+		}
+	}
+	names := make([]string, 0, len(doc.Quality))
+	for k := range doc.Quality {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		q := doc.Quality[k]
+		fmt.Printf("   %-24s accuracy %5.1f%%  coverage %5.1f%%  timeliness %5.1f%%\n",
+			k, 100*q.Accuracy, 100*q.Coverage, 100*q.Timeliness)
+	}
+	return nil
+}
+
+// gateQuality fails the run when any cell's accuracy or coverage drops
+// below the committed baseline (beyond qualityTolerance). Timeliness is
+// recorded but not gated: it trades off against coverage by design
+// (deeper look-ahead makes prefetches earlier but riskier).
+func gateQuality(baseline, doc *Doc, out string) error {
+	if baseline.Quality == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(baseline.Quality))
+	for k := range baseline.Quality {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		base := baseline.Quality[k]
+		got, ok := doc.Quality[k]
+		if !ok {
+			return fmt.Errorf("quality cell %s missing from this run", k)
+		}
+		if got.Accuracy < base.Accuracy-qualityTolerance {
+			return fmt.Errorf("%s accuracy regressed: %.4f < baseline %.4f (%s)",
+				k, got.Accuracy, base.Accuracy, out)
+		}
+		if got.Coverage < base.Coverage-qualityTolerance {
+			return fmt.Errorf("%s coverage regressed: %.4f < baseline %.4f (%s)",
+				k, got.Coverage, base.Coverage, out)
+		}
+		fmt.Printf("== quality gate: %s accuracy %.4f / coverage %.4f >= baseline: ok\n",
+			k, got.Accuracy, got.Coverage)
+	}
 	return nil
 }
 

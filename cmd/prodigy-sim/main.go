@@ -13,22 +13,26 @@
 // Observability (see docs/OBSERVABILITY.md): -trace writes a Chrome
 // trace-event timeline per run (open in chrome://tracing or Perfetto),
 // -metrics writes interval metrics JSONL, and -interval sets the sampling
-// interval in simulated cycles. When the grid has more than one cell the
-// cell name is spliced into each output filename (out.json →
-// out.bfs-po.prodigy.json).
+// interval in simulated cycles. -pf-ledger writes one JSON line per
+// prefetched line (issue cycle, fill cycle, level, demand-merged) — the
+// raw material behind the accuracy/coverage/timeliness summary. When the
+// grid has more than one cell the cell name is spliced into each output
+// filename (out.json → out.bfs-po.prodigy.json).
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"prodigy/internal/core"
 	"prodigy/internal/cpu"
 	"prodigy/internal/exp"
 	"prodigy/internal/obs"
+	"prodigy/internal/sim"
 	"prodigy/internal/stats"
 	"prodigy/internal/workloads"
 )
@@ -43,8 +47,10 @@ func main() {
 	workers := flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	jsonPath := flag.String("json", "", "append per-run JSON summary lines to this file (\"-\" = stdout)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline (catapult JSON) to this file")
-	metricsPath := flag.String("metrics", "", "write interval metrics JSONL to this file")
+	metricsPath := flag.String("metrics", "", "write interval metrics JSONL to this file; counters include "+
+		"cache.pf_timely, cache.pf_evicted_unused, sim.pf_issued, sim.pf_redundant, sim.pf_mshr_full, sim.late_merge")
 	interval := flag.Int64("interval", obs.DefaultInterval, "metrics sampling interval in simulated cycles")
+	ledgerPath := flag.String("pf-ledger", "", "write the per-line prefetch lifecycle ledger (JSONL) to this file")
 	flag.Parse()
 
 	cfg := exp.Default()
@@ -90,12 +96,17 @@ func main() {
 		}
 	}
 
+	single := len(cells) == 1
 	if *tracePath != "" || *metricsPath != "" {
-		single := len(cells) == 1
 		itv := *interval
 		cfg.Obs = func(cell string) (*obs.Recorder, func() error, error) {
-			return obs.OpenFiles(cellPath(*tracePath, cell, single),
-				cellPath(*metricsPath, cell, single), itv)
+			return obs.OpenFiles(obs.CellPath(*tracePath, cell, single),
+				obs.CellPath(*metricsPath, cell, single), itv)
+		}
+	}
+	if *ledgerPath != "" {
+		cfg.Ledger = func(cell string) (func(sim.PFLineEvent), func() error, error) {
+			return openLedger(obs.CellPath(*ledgerPath, cell, single))
 		}
 	}
 	h := exp.New(cfg)
@@ -113,15 +124,24 @@ func main() {
 	}
 }
 
-// cellPath derives the per-cell output filename. A single-cell grid keeps
-// the path as given; larger grids splice the cell name before the
-// extension so concurrent runs never share a file.
-func cellPath(path, cell string, single bool) string {
-	if path == "" || single {
-		return path
+// openLedger builds a JSONL sink for the per-line prefetch ledger: one
+// object per prefetched line with its issue/fill cycles and outcome bits.
+func openLedger(path string) (func(sim.PFLineEvent), func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
 	}
-	ext := filepath.Ext(path)
-	return strings.TrimSuffix(path, ext) + "." + cell + ext
+	w := bufio.NewWriterSize(f, 1<<16)
+	enc := json.NewEncoder(w)
+	hook := func(ev sim.PFLineEvent) { _ = enc.Encode(ev) }
+	closer := func() error {
+		ferr := w.Flush()
+		if cerr := f.Close(); ferr == nil {
+			ferr = cerr
+		}
+		return ferr
+	}
+	return hook, closer, nil
 }
 
 // report prints the full human-readable statistics for one run.
@@ -152,6 +172,13 @@ func report(run *exp.Run, cfg exp.Config) {
 	t2.AddRow("TLB miss rate", fmt.Sprintf("%.2f%%", 100*run.Res.TLBMissRate))
 	t2.AddRow("branches/mispredicts", fmt.Sprintf("%d/%d", run.Res.Branches, run.Res.Mispredicts))
 	fmt.Println(t2)
+
+	if q := run.Res.PFQAgg; q.Issued > 0 {
+		fmt.Printf("prefetch quality: accuracy %.1f%%  coverage %.1f%%  timeliness %.1f%%"+
+			"  (issued %d  timely %d  late %d  evicted-unused %d  redundant %d  dropped %d)\n\n",
+			100*q.Accuracy(), 100*q.Coverage(), 100*q.Timeliness(),
+			q.Issued, q.Timely, q.Late, q.EvictedUnused, q.Redundant, q.Dropped)
+	}
 
 	for i, p := range run.Res.Prefetchers {
 		if pp, ok := p.(*core.Prodigy); ok {

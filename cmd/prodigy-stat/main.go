@@ -1,0 +1,26 @@
+// Command prodigy-stat reads the JSONL outputs of the experiment runner
+// (per-run summaries from -json / exp.Config.JSONLog) or the observability
+// layer (interval metrics from -metrics) and renders them as tables, or
+// compares two runner logs cell by cell.
+//
+// Usage:
+//
+//	prodigy-stat show runs.jsonl
+//	prodigy-stat diff base.jsonl new.jsonl [-fail-on "accuracy=5,ipc=2"]
+//
+// show prints per-kernel prefetch-quality and CPI-stack tables (runner
+// logs) or counter totals (metrics logs); the file kind is auto-detected
+// per line. diff joins two runner logs on (label, scheme, variant) and
+// prints percentage deltas for cycles, IPC, and the prefetch-quality
+// ratios. -fail-on makes diff exit non-zero when a named metric regresses
+// by more than the given percentage — the regression gate for CI.
+//
+// Exit codes: 0 success, 1 a -fail-on threshold was crossed, 2 usage or
+// I/O error.
+package main
+
+import "os"
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}

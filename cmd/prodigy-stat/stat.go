@@ -1,0 +1,403 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"prodigy/internal/exp"
+	"prodigy/internal/obs"
+	"prodigy/internal/stats"
+)
+
+// run is the testable CLI entry point; it returns the process exit code
+// (0 success, 1 regression-gate failure, 2 usage or I/O error).
+func run(stdout, stderr io.Writer, args []string) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "show":
+		return runShow(stdout, stderr, args[1:])
+	case "diff":
+		return runDiff(stdout, stderr, args[1:])
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		// Bare filename acts as show for convenience.
+		if _, err := os.Stat(args[0]); err == nil {
+			return runShow(stdout, stderr, args)
+		}
+		fmt.Fprintf(stderr, "prodigy-stat: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  prodigy-stat show <file.jsonl>
+      Render a runner JSONL (per-run summaries) or metrics JSONL
+      (interval counters) as tables. The kind is auto-detected.
+  prodigy-stat diff [-fail-on spec] <base.jsonl> <new.jsonl>
+      Join two runner JSONLs on (label, scheme, variant) and print
+      percentage deltas. -fail-on "accuracy=5,ipc=2" exits 1 when any
+      named metric regresses by more than the given percent. Metrics:
+      ipc, cycles, wall, accuracy, coverage, timeliness.
+`)
+}
+
+// loadFile splits a JSONL file into runner summaries and metrics rows,
+// detecting each line's kind by its keys ("label" → RunSummary,
+// "interval" → MetricsRow).
+func loadFile(path string) (runs []exp.RunSummary, rows []obs.MetricsRow, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() { _ = f.Close() }() // read-only; Close error carries no data-loss signal
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		switch {
+		case probe["label"] != nil:
+			var s exp.RunSummary
+			if err := json.Unmarshal([]byte(line), &s); err != nil {
+				return nil, nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+			}
+			runs = append(runs, s)
+		case probe["interval"] != nil:
+			var r obs.MetricsRow
+			if err := json.Unmarshal([]byte(line), &r); err != nil {
+				return nil, nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+			}
+			rows = append(rows, r)
+		default:
+			return nil, nil, fmt.Errorf("%s:%d: unrecognized record (no label or interval key)", path, lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return runs, rows, nil
+}
+
+func runShow(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: prodigy-stat show <file.jsonl>")
+		return 2
+	}
+	runs, rows, err := loadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "prodigy-stat:", err)
+		return 2
+	}
+	if len(runs) > 0 {
+		showRuns(stdout, runs)
+	}
+	if len(rows) > 0 {
+		showMetrics(stdout, rows)
+	}
+	if len(runs) == 0 && len(rows) == 0 {
+		fmt.Fprintln(stderr, "prodigy-stat: no records in", fs.Arg(0))
+		return 2
+	}
+	return 0
+}
+
+// cellKey joins two runner logs cell-for-cell.
+func cellKey(s exp.RunSummary) string {
+	return s.Label + "|" + s.Scheme + "|" + s.Variant
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// showRuns renders runner summaries: one quality row per run, then the
+// CPI-stack breakdown. Rows keep file order (the order runs completed).
+func showRuns(w io.Writer, runs []exp.RunSummary) {
+	t := stats.NewTable("Runs", "label", "scheme", "cycles", "IPC",
+		"accuracy", "coverage", "timeliness", "abort")
+	for _, s := range runs {
+		acc, cov, tim := "-", "-", "-"
+		if s.PF != nil {
+			acc, cov, tim = pct(s.PF.Accuracy), pct(s.PF.Coverage), pct(s.PF.Timeliness)
+		}
+		scheme := s.Scheme
+		if s.Variant != "" {
+			scheme += " " + s.Variant
+		}
+		t.AddRow(s.Label, scheme, s.Cycles, s.IPC, acc, cov, tim, s.Abort)
+	}
+	fmt.Fprintln(w, t)
+
+	// Stall-class columns in a deterministic order: union of all rows'
+	// CPI-stack keys, sorted.
+	classSet := map[string]bool{}
+	for _, s := range runs {
+		for k := range s.CPIStack {
+			classSet[k] = true
+		}
+	}
+	if len(classSet) == 0 {
+		return
+	}
+	classes := make([]string, 0, len(classSet))
+	for k := range classSet {
+		classes = append(classes, k)
+	}
+	sort.Strings(classes)
+	headers := append([]string{"label", "scheme"}, classes...)
+	t2 := stats.NewTable("CPI stack (fraction of cycles)", headers...)
+	for _, s := range runs {
+		row := []interface{}{s.Label, s.Scheme}
+		for _, c := range classes {
+			row = append(row, s.CPIStack[c])
+		}
+		t2.AddRow(row...)
+	}
+	fmt.Fprintln(w, t2)
+}
+
+// showMetrics reduces interval metrics rows to counter totals (last-wins
+// for gauges), sorted by counter name for deterministic output.
+func showMetrics(w io.Writer, rows []obs.MetricsRow) {
+	totals := map[string]uint64{}
+	var cycles int64
+	for _, r := range rows {
+		cycles += r.Cycles
+		for name, v := range r.Counters {
+			totals[name] += v
+		}
+	}
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	t := stats.NewTable(fmt.Sprintf("Counter totals (%d intervals, %d aggregate cycles)", len(rows), cycles),
+		"counter", "total")
+	for _, n := range names {
+		t.AddRow(n, totals[n])
+	}
+	fmt.Fprintln(w, t)
+}
+
+// metric extracts one named comparison metric from a summary; ok is false
+// when the summary has no value for it (e.g. pf metrics on a no-prefetch
+// run).
+func metric(s exp.RunSummary, name string) (float64, bool) {
+	switch name {
+	case "ipc":
+		return s.IPC, true
+	case "cycles":
+		return float64(s.Cycles), true
+	case "wall":
+		return s.WallMS, true
+	case "accuracy":
+		if s.PF == nil {
+			return 0, false
+		}
+		return s.PF.Accuracy, true
+	case "coverage":
+		if s.PF == nil {
+			return 0, false
+		}
+		return s.PF.Coverage, true
+	case "timeliness":
+		if s.PF == nil {
+			return 0, false
+		}
+		return s.PF.Timeliness, true
+	}
+	return 0, false
+}
+
+// higherBetter reports the regression direction for a metric: a drop in
+// ipc/accuracy/coverage/timeliness is a regression, a rise in cycles/wall
+// is.
+func higherBetter(name string) bool {
+	switch name {
+	case "cycles", "wall":
+		return false
+	}
+	return true
+}
+
+var diffMetrics = []string{"cycles", "ipc", "accuracy", "coverage", "timeliness", "wall"}
+
+// failSpec is one parsed -fail-on entry: fail when metric regresses by
+// more than thresholdPct percent.
+type failSpec struct {
+	metric       string
+	thresholdPct float64
+}
+
+// parseFailOn parses "accuracy=5,ipc=2" into specs, validating metric
+// names against the comparable set.
+func parseFailOn(spec string) ([]failSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []failSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -fail-on entry %q (want metric=percent)", part)
+		}
+		name := strings.TrimSpace(kv[0])
+		if _, ok := metric(exp.RunSummary{PF: &exp.PFSummary{}}, name); !ok {
+			return nil, fmt.Errorf("unknown -fail-on metric %q (want one of ipc, cycles, wall, accuracy, coverage, timeliness)", name)
+		}
+		th, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil || th < 0 {
+			return nil, fmt.Errorf("bad -fail-on threshold %q", kv[1])
+		}
+		out = append(out, failSpec{metric: name, thresholdPct: th})
+	}
+	return out, nil
+}
+
+// deltaPct is the signed percentage change from base to new (positive =
+// increase). Returns 0 when base is 0.
+func deltaPct(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (cur - base) / base
+}
+
+// regressionPct converts a signed delta into "percent worse" for the
+// metric's direction: 0 when the metric moved the good way.
+func regressionPct(name string, d float64) float64 {
+	if higherBetter(name) {
+		if d < 0 {
+			return -d
+		}
+		return 0
+	}
+	if d > 0 {
+		return d
+	}
+	return 0
+}
+
+func runDiff(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	failOn := fs.String("fail-on", "", "comma-separated metric=percent regression thresholds (e.g. \"accuracy=5,ipc=2\")")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: prodigy-stat diff [-fail-on spec] <base.jsonl> <new.jsonl>")
+		return 2
+	}
+	specs, err := parseFailOn(*failOn)
+	if err != nil {
+		fmt.Fprintln(stderr, "prodigy-stat:", err)
+		return 2
+	}
+	baseRuns, _, err := loadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "prodigy-stat:", err)
+		return 2
+	}
+	newRuns, _, err := loadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "prodigy-stat:", err)
+		return 2
+	}
+	if len(baseRuns) == 0 || len(newRuns) == 0 {
+		fmt.Fprintln(stderr, "prodigy-stat: diff needs runner summaries in both files")
+		return 2
+	}
+
+	// Last record wins per cell (append-mode logs re-run cells).
+	base := map[string]exp.RunSummary{}
+	for _, s := range baseRuns {
+		base[cellKey(s)] = s
+	}
+	// Join in new-file order, deduped.
+	seen := map[string]bool{}
+	var keys []string
+	cur := map[string]exp.RunSummary{}
+	for _, s := range newRuns {
+		k := cellKey(s)
+		cur[k] = s
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+
+	headers := append([]string{"label", "scheme"}, diffMetrics...)
+	t := stats.NewTable("Diff (delta % vs base)", headers...)
+	var failures []string
+	matched := 0
+	for _, k := range keys {
+		n := cur[k]
+		b, ok := base[k]
+		if !ok {
+			continue
+		}
+		matched++
+		scheme := n.Scheme
+		if n.Variant != "" {
+			scheme += " " + n.Variant
+		}
+		row := []interface{}{n.Label, scheme}
+		for _, m := range diffMetrics {
+			bv, bok := metric(b, m)
+			nv, nok := metric(n, m)
+			if !bok || !nok {
+				row = append(row, "-")
+				continue
+			}
+			d := deltaPct(bv, nv)
+			row = append(row, fmt.Sprintf("%+.1f%%", d))
+			for _, spec := range specs {
+				if spec.metric != m {
+					continue
+				}
+				if reg := regressionPct(m, d); reg > spec.thresholdPct {
+					failures = append(failures,
+						fmt.Sprintf("%s/%s: %s regressed %.1f%% (threshold %.1f%%)",
+							n.Label, scheme, m, reg, spec.thresholdPct))
+				}
+			}
+		}
+		t.AddRow(row...)
+	}
+	fmt.Fprintln(stdout, t)
+	fmt.Fprintf(stdout, "%d cells compared (%d base-only, %d new-only)\n",
+		matched, len(base)-matched, len(keys)-matched)
+	if len(failures) > 0 {
+		sort.Strings(failures)
+		for _, f := range failures {
+			fmt.Fprintln(stderr, "FAIL:", f)
+		}
+		return 1
+	}
+	return 0
+}

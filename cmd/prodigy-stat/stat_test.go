@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(&out, &errb, args)
+	return code, out.String(), errb.String()
+}
+
+func TestShowRunnerLog(t *testing.T) {
+	code, out, errs := runCLI(t, "show", "testdata/base.jsonl")
+	if code != 0 {
+		t.Fatalf("show exit %d, stderr %q", code, errs)
+	}
+	for _, want := range []string{"bfs-po", "pr-po", "prodigy", "83.3%", "CPI stack", "dram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("show output missing %q:\n%s", want, out)
+		}
+	}
+	// The no-prefetch baseline renders dashes, not zeros.
+	if !strings.Contains(out, "-") {
+		t.Errorf("expected '-' placeholders for scheme none:\n%s", out)
+	}
+}
+
+func TestShowBareFilename(t *testing.T) {
+	code, out, _ := runCLI(t, "testdata/base.jsonl")
+	if code != 0 || !strings.Contains(out, "bfs-po") {
+		t.Fatalf("bare-filename show failed: code %d\n%s", code, out)
+	}
+}
+
+func TestShowMetricsLog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.jsonl")
+	lines := `{"interval":1000,"start":0,"end":1000,"cycles":2000,"cpi":[{"base":500}],"counters":{"sim.pf_issued":40,"cache.pf_timely":25}}
+{"interval":1000,"start":1000,"end":2000,"cycles":2000,"cpi":[{"base":480}],"counters":{"sim.pf_issued":10,"cache.pf_timely":5}}
+`
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errs := runCLI(t, "show", path)
+	if code != 0 {
+		t.Fatalf("show exit %d, stderr %q", code, errs)
+	}
+	if !strings.Contains(out, "sim.pf_issued") || !strings.Contains(out, "50") {
+		t.Errorf("metrics totals missing:\n%s", out)
+	}
+	if !strings.Contains(out, "cache.pf_timely") || !strings.Contains(out, "30") {
+		t.Errorf("counter total missing:\n%s", out)
+	}
+	// Sorted counter order: cache.* before sim.*.
+	if strings.Index(out, "cache.pf_timely") > strings.Index(out, "sim.pf_issued") {
+		t.Errorf("counters not sorted by name:\n%s", out)
+	}
+}
+
+func TestDiffCleanExitsZero(t *testing.T) {
+	code, out, errs := runCLI(t, "diff", "testdata/base.jsonl", "testdata/new.jsonl")
+	if code != 0 {
+		t.Fatalf("plain diff exit %d, stderr %q", code, errs)
+	}
+	for _, want := range []string{"Diff", "bfs-po", "pr-po", "3 cells compared"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffFailOnThreshold(t *testing.T) {
+	// bfs-po/prodigy accuracy drops 0.833 → 0.821 (-1.4%), crossing a 1%
+	// gate but not a 5% one.
+	code, _, errs := runCLI(t, "diff", "-fail-on", "accuracy=1", "testdata/base.jsonl", "testdata/new.jsonl")
+	if code != 1 {
+		t.Fatalf("diff -fail-on accuracy=1: exit %d, want 1", code)
+	}
+	if !strings.Contains(errs, "accuracy regressed") {
+		t.Errorf("stderr missing regression message: %q", errs)
+	}
+	code, _, _ = runCLI(t, "diff", "-fail-on", "accuracy=5", "testdata/base.jsonl", "testdata/new.jsonl")
+	if code != 0 {
+		t.Fatalf("diff -fail-on accuracy=5: exit %d, want 0", code)
+	}
+	// Direction-aware: cycles went UP for pr-po (+0.5%), which is a
+	// regression for a lower-is-better metric.
+	code, _, _ = runCLI(t, "diff", "-fail-on", "cycles=0.2", "testdata/base.jsonl", "testdata/new.jsonl")
+	if code != 1 {
+		t.Fatalf("diff -fail-on cycles=0.2: exit %d, want 1", code)
+	}
+	// IPC *improved* for bfs-po; an improvement never trips the gate.
+	code, _, _ = runCLI(t, "diff", "-fail-on", "ipc=0.9", "testdata/base.jsonl", "testdata/new.jsonl")
+	if code != 0 {
+		t.Fatalf("diff -fail-on ipc=0.9: exit %d, want 0 (improvements pass)", code)
+	}
+}
+
+func TestDiffUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, "diff", "testdata/base.jsonl"); code != 2 {
+		t.Errorf("missing arg: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "diff", "-fail-on", "bogus=1", "testdata/base.jsonl", "testdata/new.jsonl"); code != 2 {
+		t.Errorf("unknown metric: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "diff", "-fail-on", "accuracy", "testdata/base.jsonl", "testdata/new.jsonl"); code != 2 {
+		t.Errorf("malformed spec: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "show", "testdata/nope.jsonl"); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+}
+
+func TestParseFailOn(t *testing.T) {
+	specs, err := parseFailOn("accuracy=5, ipc=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].metric != "accuracy" || specs[0].thresholdPct != 5 ||
+		specs[1].metric != "ipc" || specs[1].thresholdPct != 2.5 {
+		t.Errorf("parseFailOn: %+v", specs)
+	}
+	if _, err := parseFailOn("accuracy=-1"); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if specs, err := parseFailOn(""); err != nil || specs != nil {
+		t.Errorf("empty spec: %+v, %v", specs, err)
+	}
+}

@@ -119,13 +119,26 @@ func ScaledDefault(cores int) Config {
 	}
 }
 
+// Prefetch-tag encoding: the issuing core in the low bits plus one flag
+// recording whether the fill was serviced from DRAM. One packed byte
+// (it occupies what was padding in line), so tagging costs no space and
+// no extra set state.
+const (
+	pfCoreMask uint8 = 0x7F
+	pfMemBit   uint8 = 0x80
+)
+
 // line is one cache line's metadata.
 type line struct {
 	tag        uint64 // full line address + 1 (0 = invalid slot never used)
 	state      uint8
 	prefetched bool
 	used       bool // demanded at least once since fill
-	lru        uint32
+	// pfTag attributes a prefetched line to its issuing core (pfCoreMask)
+	// and records DRAM service (pfMemBit); meaningful only while
+	// prefetched && !used.
+	pfTag uint8
+	lru   uint32
 }
 
 // bank is one set-associative cache.
@@ -277,6 +290,29 @@ type Stats struct {
 	PrefetchEvicted uint64 // prefetched line left hierarchy unused
 }
 
+// LifeStats is one core's slice of the prefetch-lifecycle ledger. Fill
+// and outcome events are attributed to the *issuing* core via the packed
+// per-line tag (not the core whose demand later found the line);
+// DemandMisses is demand-side and belongs to the accessing core. The
+// engine joins both views into per-core accuracy/coverage/timeliness.
+type LifeStats struct {
+	// Fills counts completed prefetch fills; FillsMem the subset serviced
+	// from DRAM (the coverage-relevant ones).
+	Fills    uint64
+	FillsMem uint64
+	// Timely counts prefetched lines whose first demand use found them
+	// already resident (the prefetch hid the full latency); TimelyMem is
+	// the DRAM-serviced subset.
+	Timely    uint64
+	TimelyMem uint64
+	// EvictedUnused counts prefetched lines that left the hierarchy
+	// without ever being demanded (the "inaccurate" lifecycle class).
+	EvictedUnused uint64
+	// DemandMisses counts this core's demand accesses serviced by DRAM —
+	// the misses no prefetch covered.
+	DemandMisses uint64
+}
+
 // Hierarchy is the full multi-core cache system.
 type Hierarchy struct {
 	cfg       Config
@@ -284,19 +320,24 @@ type Hierarchy struct {
 	l1, l2    []*bank
 	l3        *bank
 	Stats     Stats
+	// Life is the per-core prefetch-lifecycle ledger (see LifeStats for
+	// which side of an event each index refers to).
+	Life []LifeStats
 	// OnL3Evict, when set, is called with the evicted line address
 	// (used by DROPLET-style prefetchers that watch DRAM traffic).
 	OnL3Evict func(lineAddr uint64)
 
 	// Interval-metrics hooks (inert when obs is nil).
-	obs        *obs.Recorder
-	obsAccess  obs.CounterID
-	obsL1Hit   obs.CounterID
-	obsL2Hit   obs.CounterID
-	obsL3Hit   obs.CounterID
-	obsMem     obs.CounterID
-	obsPFFill  obs.CounterID
-	obsWriteBk obs.CounterID
+	obs          *obs.Recorder
+	obsAccess    obs.CounterID
+	obsL1Hit     obs.CounterID
+	obsL2Hit     obs.CounterID
+	obsL3Hit     obs.CounterID
+	obsMem       obs.CounterID
+	obsPFFill    obs.CounterID
+	obsWriteBk   obs.CounterID
+	obsPFTimely  obs.CounterID
+	obsPFEvicted obs.CounterID
 }
 
 // Attach registers the hierarchy's observability counters: demand
@@ -315,6 +356,10 @@ func (h *Hierarchy) Attach(r *obs.Recorder) {
 	h.obsMem = r.Counter("cache.mem")
 	h.obsPFFill = r.Counter("cache.pf_fill")
 	h.obsWriteBk = r.Counter("cache.writeback")
+	// Lifecycle counters double as trace counter tracks so prefetch
+	// quality is visible over time in the timeline viewer.
+	h.obsPFTimely = r.TrackCounter("cache.pf_timely")
+	h.obsPFEvicted = r.TrackCounter("cache.pf_evicted_unused")
 }
 
 // New builds a hierarchy from cfg, rejecting geometries Validate refuses.
@@ -322,7 +367,7 @@ func New(cfg Config) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	h := &Hierarchy{cfg: cfg}
+	h := &Hierarchy{cfg: cfg, Life: make([]LifeStats, cfg.Cores)}
 	for s := cfg.LineSize; s > 1; s >>= 1 {
 		h.lineShift++
 	}
@@ -373,6 +418,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 		if ln.prefetched && !ln.used {
 			res.PrefetchHit = LvlL1
 			h.Stats.PrefetchL1Hits++
+			h.lifeTimely(ln.pfTag)
 			h.markUsed(core, la)
 		}
 		ln.used = true
@@ -393,11 +439,12 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 		if ln.prefetched && !ln.used {
 			res.PrefetchHit = LvlL2
 			h.Stats.PrefetchL2Hits++
+			h.lifeTimely(ln.pfTag)
 			h.markUsed(core, la)
 		}
 		ln.used = true
 		st := ln.state
-		h.fillL1(core, la, st, ln.prefetched, true)
+		h.fillL1(core, la, st, ln.prefetched, true, ln.pfTag)
 		h.Stats.DemandL2Hits++
 		h.obs.Add(h.obsL2Hit, 1)
 		if write && st != stModified {
@@ -414,12 +461,14 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 		if ln.prefetched && !ln.used {
 			res.PrefetchHit = LvlL3
 			h.Stats.PrefetchL3Hits++
+			h.lifeTimely(ln.pfTag)
 		}
 		ln.used = true
 		prefetched := ln.prefetched
+		pfTag := ln.pfTag
 		sh := &h.l3.sharers[i]
 		state := h.serviceFromL3(core, la, sh, write)
-		h.fillPrivate(core, la, state, prefetched, true)
+		h.fillPrivate(core, la, state, prefetched, true, pfTag)
 		// Re-resolve the directory entry: the private fills may have
 		// evicted other lines but never move this one, so the slot index
 		// is still valid.
@@ -431,14 +480,28 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 
 	// DRAM.
 	h.Stats.DemandMem++
+	h.Life[core].DemandMisses++
 	h.obs.Add(h.obsMem, 1)
 	state := uint8(stExclusive)
 	if write {
 		state = stModified
 	}
-	h.fillL3(core, la, state == stModified, false)
-	h.fillPrivate(core, la, state, false, true)
+	h.fillL3(core, la, state == stModified, false, 0)
+	h.fillPrivate(core, la, state, false, true, 0)
 	return Result{Lat: h.cfg.L3Lat, Level: LvlMem}
+}
+
+// lifeTimely attributes the first demand use of a prefetched-unused line
+// to its issuing core (the packed per-line tag), splitting out fills that
+// were serviced by DRAM — the ones that converted a would-be miss.
+func (h *Hierarchy) lifeTimely(tag uint8) {
+	if c := int(tag & pfCoreMask); c < len(h.Life) {
+		h.Life[c].Timely++
+		if tag&pfMemBit != 0 {
+			h.Life[c].TimelyMem++
+		}
+	}
+	h.obs.Add(h.obsPFTimely, 1)
 }
 
 // serviceFromL3 handles coherence when core reads/writes a line present in
@@ -512,12 +575,12 @@ func (h *Hierarchy) markUsed(core int, la uint64) {
 	h.l3.markUsed(la)
 }
 
-func (h *Hierarchy) fillPrivate(core int, la uint64, state uint8, prefetched, used bool) {
-	h.fillL2(core, la, state, prefetched, used)
-	h.fillL1(core, la, state, prefetched, used)
+func (h *Hierarchy) fillPrivate(core int, la uint64, state uint8, prefetched, used bool, pfTag uint8) {
+	h.fillL2(core, la, state, prefetched, used, pfTag)
+	h.fillL1(core, la, state, prefetched, used, pfTag)
 }
 
-func (h *Hierarchy) fillL1(core int, la uint64, state uint8, prefetched, used bool) {
+func (h *Hierarchy) fillL1(core int, la uint64, state uint8, prefetched, used bool, pfTag uint8) {
 	b := h.l1[core]
 	i, hit := b.findOrVictim(la)
 	if hit {
@@ -526,11 +589,11 @@ func (h *Hierarchy) fillL1(core int, la uint64, state uint8, prefetched, used bo
 	}
 	// A dirty L1 victim falls back to L2/L3 silently (inclusive hierarchy:
 	// the outer levels still hold the line and the directory bit).
-	b.lines[i] = line{tag: la + 1, state: state, prefetched: prefetched, used: used}
+	b.lines[i] = line{tag: la + 1, state: state, prefetched: prefetched, used: used, pfTag: pfTag}
 	b.touchIdx(i)
 }
 
-func (h *Hierarchy) fillL2(core int, la uint64, state uint8, prefetched, used bool) {
+func (h *Hierarchy) fillL2(core int, la uint64, state uint8, prefetched, used bool, pfTag uint8) {
 	b := h.l2[core]
 	i, hit := b.findOrVictim(la)
 	if hit {
@@ -559,11 +622,11 @@ func (h *Hierarchy) fillL2(core int, la uint64, state uint8, prefetched, used bo
 			}
 		}
 	}
-	b.lines[i] = line{tag: la + 1, state: state, prefetched: prefetched, used: used}
+	b.lines[i] = line{tag: la + 1, state: state, prefetched: prefetched, used: used, pfTag: pfTag}
 	b.touchIdx(i)
 }
 
-func (h *Hierarchy) fillL3(core int, la uint64, modified, prefetched bool) {
+func (h *Hierarchy) fillL3(core int, la uint64, modified, prefetched bool, pfTag uint8) {
 	b := h.l3
 	i, hit := b.findOrVictim(la)
 	if hit {
@@ -578,7 +641,7 @@ func (h *Hierarchy) fillL3(core int, la uint64, modified, prefetched bool) {
 	if modified {
 		st = stModified
 	}
-	b.lines[i] = line{tag: la + 1, state: st, prefetched: prefetched}
+	b.lines[i] = line{tag: la + 1, state: st, prefetched: prefetched, pfTag: pfTag}
 	b.sharers[i] = 1 << uint(core)
 	b.touchIdx(i)
 }
@@ -603,6 +666,10 @@ func (h *Hierarchy) evictL3(victimAddr uint64, i int) {
 	}
 	if ln.prefetched && !ln.used {
 		h.Stats.PrefetchEvicted++
+		if c := int(ln.pfTag & pfCoreMask); c < len(h.Life) {
+			h.Life[c].EvictedUnused++
+		}
+		h.obs.Add(h.obsPFEvicted, 1)
 	}
 	if h.OnL3Evict != nil {
 		h.OnL3Evict(victimAddr)
@@ -649,14 +716,24 @@ func (h *Hierarchy) fillPrefetchAt(core int, addr uint64, fromLevel Level, l2Onl
 	la := h.LineAddr(addr)
 	h.Stats.PrefetchFills++
 	h.obs.Add(h.obsPFFill, 1)
+	pfTag := uint8(core) & pfCoreMask
 	if fromLevel == LvlMem {
-		h.fillL3(core, la, false, true)
+		pfTag |= pfMemBit
+	}
+	if core < len(h.Life) {
+		h.Life[core].Fills++
+		if fromLevel == LvlMem {
+			h.Life[core].FillsMem++
+		}
+	}
+	if fromLevel == LvlMem {
+		h.fillL3(core, la, false, true, pfTag)
 	} else if i := h.l3.findIdx(la); i >= 0 {
 		h.l3.sharers[i] |= 1 << uint(core)
 		h.l3.touchIdx(i)
 	}
-	h.fillL2(core, la, stShared, true, false)
+	h.fillL2(core, la, stShared, true, false, pfTag)
 	if !l2Only {
-		h.fillL1(core, la, stShared, true, false)
+		h.fillL1(core, la, stShared, true, false, pfTag)
 	}
 }

@@ -108,6 +108,12 @@ type Prodigy struct {
 	// (Section IV-F); DIG tables and trigger state are retained so
 	// prefetching resumes where it left off.
 	paused bool
+	// internalDrops counts requests abandoned before reaching the memory
+	// system because no PFHR was free. Stats.PFHRFull additionally counts
+	// MSHR-cap rejections (the register was allocated, then released), which
+	// the engine already counts on its side — keeping the internal-only
+	// number separate lets IssueStats report drops without double counting.
+	internalDrops uint64
 	// Stats is exported for the experiment harness.
 	Stats Stats
 
@@ -178,6 +184,19 @@ func NewPrefetcher(env prefetch.Env, d *dig.DIG, cfg Config) *Prodigy {
 
 // Name identifies the scheme.
 func (p *Prodigy) Name() string { return "prodigy" }
+
+// IssueStats implements prefetch.IssueReporter: Requested counts the
+// lines handed to the memory system (trigger + single + ranged),
+// SkippedResident the probe-elided requests, and DroppedInternal the
+// PFHR-pressure drops that never reached the memory system (the paper's
+// Fig. 12 structural hazard, surfaced as the "dropped" lifecycle class).
+func (p *Prodigy) IssueStats() prefetch.IssueStats {
+	return prefetch.IssueStats{
+		Requested:       p.Stats.LinesTrigger + p.Stats.LinesSingle + p.Stats.LinesRanged,
+		SkippedResident: p.Stats.ResidentSkipped,
+		DroppedInternal: p.internalDrops,
+	}
+}
 
 // Pause suspends prefetching when the owning thread is descheduled
 // (Section IV-F). The prefetcher-local state — DIG tables, PFHRs, trigger
@@ -443,6 +462,7 @@ func (p *Prodigy) requestLine(n *dig.Node, trigAddr, lineAddr uint64, bitmap uin
 	}
 	if idx < 0 {
 		p.Stats.PFHRFull++
+		p.internalDrops++
 		p.env.Obs.Add(p.obsPFHRFull, 1)
 		return
 	}

@@ -237,6 +237,32 @@ func TestPFHRExhaustion(t *testing.T) {
 	}
 }
 
+func TestIssueStatsProvenance(t *testing.T) {
+	// The IssueReporter view must attribute PFHR-pressure drops to the
+	// prefetcher itself (DroppedInternal) and tie Requested to the
+	// per-kind line counters, so the simulator's quality ledger can
+	// separate internal drops from MSHR rejections it counts directly.
+	st := newBFSSetup(t, Config{PFHREntries: 1, MaxRangedLines: 64}, dig.TriggerConfig{Lookahead: 16, NumSeqs: 8})
+	st.p.OnDemand(0, 1, st.workQ.Addr(0), cache.LvlMem)
+	st.f.completeAll(st.p)
+	st.f.completeAll(st.p)
+	is := st.p.IssueStats()
+	if is.DroppedInternal == 0 {
+		t.Fatal("PFHR-full drops not reported as DroppedInternal")
+	}
+	if want := st.p.Stats.LinesTrigger + st.p.Stats.LinesSingle + st.p.Stats.LinesRanged; is.Requested != want {
+		t.Fatalf("Requested = %d, want %d (sum of line counters)", is.Requested, want)
+	}
+	if is.SkippedResident != st.p.Stats.ResidentSkipped {
+		t.Fatalf("SkippedResident = %d, want %d", is.SkippedResident, st.p.Stats.ResidentSkipped)
+	}
+	// PFHRFull also counts Env.Issue rejections (MSHR-side); the internal
+	// count can never exceed it.
+	if is.DroppedInternal > st.p.Stats.PFHRFull {
+		t.Fatalf("DroppedInternal %d > PFHRFull %d", is.DroppedInternal, st.p.Stats.PFHRFull)
+	}
+}
+
 func TestResidentLinesAdvanceImmediately(t *testing.T) {
 	st := newBFSSetup(t, DefaultConfig(), dig.TriggerConfig{Lookahead: 1, NumSeqs: 1})
 	// Make workQ fully resident: the trigger-node prefetch should skip

@@ -8,6 +8,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime/debug"
@@ -97,6 +98,12 @@ type Config struct {
 	// returned close function is called after the run; its error fails
 	// the run. Return a nil recorder to skip instrumentation for a cell.
 	Obs func(cell string) (*obs.Recorder, func() error, error)
+	// Ledger, when non-nil, builds a per-run prefetch-line-ledger sink
+	// keyed like Obs. The returned hook receives every prefetched line's
+	// lifecycle record (sim.Config.LedgerHook); the close function is
+	// called after the run and its error fails the run. Return a nil hook
+	// to skip the ledger for a cell.
+	Ledger func(cell string) (func(sim.PFLineEvent), func() error, error)
 }
 
 // Default returns the paper configuration at benchmark scale.
@@ -346,9 +353,21 @@ func (h *Harness) simulate(algo, dataset string, scheme Scheme, v runVariant) (*
 			closeObs = closer
 		}
 	}
+	closeLedger := func() error { return nil }
+	if h.Cfg.Ledger != nil {
+		hook, closer, lerr := h.Cfg.Ledger(w.Label() + "." + string(scheme))
+		if lerr != nil {
+			cerr := closeObs()
+			return nil, fmt.Errorf("exp: %s/%s: ledger setup: %w", w.Label(), scheme, errors.Join(lerr, cerr))
+		}
+		scfg.LedgerHook = hook
+		if closer != nil {
+			closeLedger = closer
+		}
+	}
 
 	res, err := sim.Run(scfg, w.Space, trace.NewGen(cores, h.Cfg.MaxBuffered), w.Run)
-	cerr := closeObs()
+	cerr := errors.Join(closeObs(), closeLedger())
 	if err != nil {
 		err = fmt.Errorf("exp: %s/%s: %w", w.Label(), scheme, err)
 		//lint:allow determinism aborted-run wall time feeds the JSONL record, not results

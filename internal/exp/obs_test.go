@@ -3,10 +3,12 @@ package exp
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
 	"prodigy/internal/obs"
+	"prodigy/internal/sim"
 )
 
 // obsHarness builds a quick single-cell harness whose Config.Obs factory
@@ -123,6 +125,87 @@ func TestObsMetricsDeterministic(t *testing.T) {
 	}
 	if t1 != t2 {
 		t.Error("trace JSON differs between identical runs")
+	}
+}
+
+// TestObsAbortedRunFlushes: a run killed by the MaxCycles guard must
+// still leave a valid (closed) catapult trace and parseable metrics rows
+// behind — the abort path flushes the recorder before surfacing the
+// error, so partial observability output is never truncated mid-record.
+func TestObsAbortedRunFlushes(t *testing.T) {
+	h, traces, metrics := obsHarness(100)
+	h.Cfg.MaxCycles = 1000 // far below what the workload needs
+	_, err := h.RunOne("bfs", "po", SchemeProdigy)
+	if !errors.Is(err, sim.ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	tb, ok := traces["bfs-po.prodigy"]
+	if !ok {
+		t.Fatalf("no trace buffer; cells seen: %v", keys(traces))
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tb.Bytes(), &doc); err != nil {
+		t.Fatalf("aborted run's trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("aborted run's trace has no events")
+	}
+	rows := metricsRows(t, metrics["bfs-po.prodigy"])
+	if len(rows) == 0 {
+		t.Fatal("aborted run emitted no metrics rows")
+	}
+	for _, row := range rows {
+		if row.End <= row.Start {
+			t.Fatalf("malformed interval row: %+v", row)
+		}
+	}
+}
+
+// TestJSONLogCarriesPrefetchQuality: the runner's JSONL must carry the pf
+// block for prefetching schemes (with sane ratio bounds) and omit it for
+// the no-prefetch baseline.
+func TestJSONLogCarriesPrefetchQuality(t *testing.T) {
+	var log bytes.Buffer
+	cfg := goldenCfg(1)
+	cfg.JSONLog = &log
+	h := New(cfg)
+	if _, err := h.RunOne("bfs", "po", SchemeProdigy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.RunOne("bfs", "po", SchemeNone); err != nil {
+		t.Fatal(err)
+	}
+	var summaries []RunSummary
+	for _, line := range strings.Split(strings.TrimSpace(log.String()), "\n") {
+		var s RunSummary
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		summaries = append(summaries, s)
+	}
+	if len(summaries) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(summaries))
+	}
+	bySch := map[string]RunSummary{}
+	for _, s := range summaries {
+		bySch[s.Scheme] = s
+	}
+	pf := bySch["prodigy"].PF
+	if pf == nil {
+		t.Fatal("prodigy summary lacks pf block")
+	}
+	if pf.Issued == 0 || pf.Fills == 0 {
+		t.Fatalf("pf counts empty: %+v", pf)
+	}
+	for _, v := range []float64{pf.Accuracy, pf.Coverage, pf.Timeliness} {
+		if v < 0 || v > 1 {
+			t.Fatalf("ratio out of [0,1]: %+v", pf)
+		}
+	}
+	if bySch["none"].PF != nil {
+		t.Fatalf("no-prefetch baseline has pf block: %+v", bySch["none"].PF)
 	}
 }
 

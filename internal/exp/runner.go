@@ -221,6 +221,47 @@ type RunSummary struct {
 	// straggler core was the problem). Omitted for completed runs, whose
 	// aggregate is in Retired.
 	RetiredPerCore []int64 `json:"retired_per_core,omitempty"`
+	// PF summarizes prefetch-lifecycle quality (accuracy, coverage,
+	// timeliness and the raw lifecycle counts behind them); omitted when
+	// the run issued no prefetches.
+	PF *PFSummary `json:"pf,omitempty"`
+}
+
+// PFSummary is the prefetch-quality block of a RunSummary: the aggregate
+// lifecycle counts across cores plus the derived ratios (see
+// sim.PrefetchQuality for the definitions).
+type PFSummary struct {
+	Issued        uint64  `json:"issued"`
+	Fills         uint64  `json:"fills"`
+	Timely        uint64  `json:"timely"`
+	Late          uint64  `json:"late"`
+	EvictedUnused uint64  `json:"evicted_unused"`
+	Redundant     uint64  `json:"redundant"`
+	Dropped       uint64  `json:"dropped"`
+	Accuracy      float64 `json:"accuracy"`
+	Coverage      float64 `json:"coverage"`
+	Timeliness    float64 `json:"timeliness"`
+}
+
+// pfSummaryOf reduces a result's aggregate prefetch quality to the JSONL
+// block, or nil when the run issued no prefetches (baseline schemes).
+func pfSummaryOf(res sim.Result) *PFSummary {
+	q := res.PFQAgg
+	if q.Issued == 0 {
+		return nil
+	}
+	return &PFSummary{
+		Issued:        q.Issued,
+		Fills:         q.Fills,
+		Timely:        q.Timely,
+		Late:          q.Late,
+		EvictedUnused: q.EvictedUnused,
+		Redundant:     q.Redundant,
+		Dropped:       q.Dropped,
+		Accuracy:      q.Accuracy(),
+		Coverage:      q.Coverage(),
+		Timeliness:    q.Timeliness(),
+	}
 }
 
 // abortKind classifies a simulation failure for the JSONL record. The
@@ -252,6 +293,7 @@ func summarize(r *Run, v runVariant) RunSummary {
 		DRAMUtilization: r.Res.DRAMUtilization,
 		WallMS:          float64(r.Wall.Microseconds()) / 1e3,
 		CPIStack:        map[string]float64{},
+		PF:              pfSummaryOf(r.Res),
 	}
 	if v != (runVariant{}) {
 		s.Variant = fmt.Sprintf("%+v", v)
@@ -284,6 +326,7 @@ func (h *Harness) emitAbort(label string, scheme Scheme, v runVariant, runErr er
 		WallMS:          float64(wall.Microseconds()) / 1e3,
 		Abort:           abortKind(runErr),
 		Error:           runErr.Error(),
+		PF:              pfSummaryOf(res),
 	}
 	for _, stack := range res.Stacks {
 		s.RetiredPerCore = append(s.RetiredPerCore, stack.Retired)

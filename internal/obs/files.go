@@ -4,7 +4,21 @@ import (
 	"bufio"
 	"errors"
 	"os"
+	"path/filepath"
+	"strings"
 )
+
+// CellPath derives a per-cell output filename: a single-cell run keeps
+// the path as given, while multi-cell sweeps splice the cell name before
+// the extension (out.json → out.bfs-po.prodigy.json) so concurrent runs
+// never share a file. An empty path stays empty (that output disabled).
+func CellPath(path, cell string, single bool) string {
+	if path == "" || single {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + cell + ext
+}
 
 // OpenFiles builds a Recorder writing the catapult trace to tracePath and
 // the interval metrics JSONL to metricsPath (either may be empty to skip

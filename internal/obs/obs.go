@@ -81,6 +81,10 @@ type Recorder struct {
 	index  map[string]CounterID
 	gauges []gauge
 	sealed bool
+	// tracked lists the counters additionally exported as Chrome counter
+	// tracks ("C" events) at each interval flush. A slice, not a map: the
+	// emission order must be deterministic (registration order).
+	tracked []CounterID
 
 	// next is the next interval index to flush; buckets[i] covers
 	// interval next+i (nil entries are all-zero intervals).
@@ -167,6 +171,25 @@ func (r *Recorder) Counter(name string) CounterID {
 	return id
 }
 
+// TrackCounter registers (or re-fetches) a named counter exactly like
+// Counter and additionally exports it as a Chrome counter track: one "C"
+// event per flushed interval carrying the interval's delta, so the
+// counter renders as a value-over-time track in the trace viewer. With
+// tracing disabled it behaves exactly like Counter.
+func (r *Recorder) TrackCounter(name string) CounterID {
+	id := r.Counter(name)
+	if r == nil || id < 0 || r.tw == nil {
+		return id
+	}
+	for _, t := range r.tracked {
+		if t == id {
+			return id
+		}
+	}
+	r.tracked = append(r.tracked, id)
+	return id
+}
+
 // GaugeFunc registers a named gauge sampled at every interval boundary
 // with the boundary cycle.
 func (r *Recorder) GaugeFunc(name string, fn func(cycle int64) float64) {
@@ -189,7 +212,7 @@ func (r *Recorder) Add(id CounterID, n uint64) {
 // future intervals (e.g. DRAM bandwidth booked ahead of time) buffer
 // until that interval flushes.
 func (r *Recorder) AddAt(id CounterID, cycle int64, n uint64) {
-	if r == nil || id < 0 || r.metrics == nil {
+	if r == nil || id < 0 || !r.buffering() {
 		return
 	}
 	if b := r.bucketFor(cycle / r.interval); b != nil && int(id) < len(b.counters) {
@@ -267,7 +290,7 @@ func (r *Recorder) FlowEnd(core int, id uint64, name, cat string) {
 // end at or before now). The engine calls it after stepping all cores at
 // each scheduling point.
 func (r *Recorder) Tick(now int64) {
-	if r == nil || r.metrics == nil {
+	if r == nil || !r.buffering() {
 		return
 	}
 	for (r.next+1)*r.interval <= now {
@@ -282,7 +305,7 @@ func (r *Recorder) Finish(end int64) error {
 	if r == nil {
 		return nil
 	}
-	if r.metrics != nil {
+	if r.buffering() {
 		for len(r.buckets) > 0 || r.next*r.interval < end {
 			r.flushNext(end)
 		}
@@ -300,6 +323,14 @@ func (r *Recorder) Finish(end int64) error {
 		}
 	}
 	return r.err
+}
+
+// buffering reports whether interval buckets accumulate at all: either
+// metrics output is enabled, or at least one counter is exported as a
+// trace counter track. With neither, AddAt/Tick stay single-branch
+// no-ops (the trace-only default path).
+func (r *Recorder) buffering() bool {
+	return r.metrics != nil || (r.tw != nil && len(r.tracked) > 0)
 }
 
 // bucketFor returns the bucket for interval idx, allocating as needed.
@@ -358,6 +389,22 @@ func (r *Recorder) flushNext(finish int64) {
 	}
 	start := idx * r.interval
 	end := start + r.interval
+	// Counter tracks: one "C" sample per tracked counter per interval,
+	// timestamped at the interval start, zero-delta intervals included so
+	// the track stays continuous.
+	if r.tw != nil {
+		for _, id := range r.tracked {
+			var v uint64
+			if b != nil && int(id) < len(b.counters) {
+				v = b.counters[id]
+			}
+			r.tw.event(traceEvent{Ph: "C", Ts: start, Pid: 0, Tid: 0,
+				Name: r.names[id], Cat: "counter", Args: map[string]any{"value": v}})
+		}
+	}
+	if r.metrics == nil {
+		return
+	}
 	row := MetricsRow{
 		Interval: idx,
 		Start:    start,

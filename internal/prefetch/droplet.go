@@ -68,10 +68,14 @@ type dropletPF struct {
 	// lastDemand anchors the stream window to the newest demand-triggered
 	// line per edge node.
 	lastDemand map[dig.NodeID]uint64
+	stats      IssueStats
 }
 
 // Name implements Prefetcher.
 func (p *dropletPF) Name() string { return "droplet" }
+
+// IssueStats implements IssueReporter.
+func (p *dropletPF) IssueStats() IssueStats { return p.stats }
 
 // OnDemand streams sequentially ahead of demand accesses to the offset and
 // edge arrays (the regular half of DROPLET's design).
@@ -117,7 +121,10 @@ func (p *dropletPF) handleEdgeLine(n *dig.Node, addr uint64) {
 			break
 		}
 		if p.env.Probe(next) == cache.LvlNone {
+			p.stats.Requested++
 			p.env.Issue(next, dropletEdgeMeta)
+		} else {
+			p.stats.SkippedResident++
 		}
 	}
 
@@ -140,7 +147,10 @@ func (p *dropletPF) handleEdgeLine(n *dig.Node, addr uint64) {
 			}
 			target := dst.ElemAddr(val)
 			if p.env.Probe(target) == cache.LvlNone {
+				p.stats.Requested++
 				p.env.Issue(target, UntrackedMeta)
+			} else {
+				p.stats.SkippedResident++
 			}
 		}
 	}

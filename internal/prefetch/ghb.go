@@ -27,13 +27,17 @@ func GHB(cfg GHBConfig) Factory {
 }
 
 type ghbPF struct {
-	env  Env
-	cfg  GHBConfig
-	hist []uint64 // line addresses, newest last
+	env   Env
+	cfg   GHBConfig
+	hist  []uint64 // line addresses, newest last
+	stats IssueStats
 }
 
 // Name implements Prefetcher.
 func (p *ghbPF) Name() string { return "ghb-gdc" }
+
+// IssueStats implements IssueReporter.
+func (p *ghbPF) IssueStats() IssueStats { return p.stats }
 
 // OnDemand appends the miss to the global history buffer and prefetches
 // down the recorded delta chain for the current delta-pair context.
@@ -66,7 +70,10 @@ func (p *ghbPF) OnDemand(now int64, pc uint32, addr uint64, level cache.Level) {
 			cur = uint64(int64(cur) + delta)
 			target := cur * uint64(p.env.LineSize)
 			if p.env.Probe(target) == cache.LvlNone {
+				p.stats.Requested++
 				p.env.Issue(target, UntrackedMeta)
+			} else {
+				p.stats.SkippedResident++
 			}
 		}
 		return

@@ -54,10 +54,14 @@ type impPF struct {
 	// lastStream points at the most recently advanced streaming entry so
 	// a following miss can be correlated with its index value.
 	lastStream *impStream
+	stats      IssueStats
 }
 
 // Name implements Prefetcher.
 func (p *impPF) Name() string { return "imp" }
+
+// IssueStats implements IssueReporter.
+func (p *impPF) IssueStats() IssueStats { return p.stats }
 
 // OnDemand advances the matching index stream if the access extends one,
 // and otherwise tries to correlate the miss against recent index values to
@@ -102,7 +106,10 @@ func (p *impPF) streamAdvance(e *impStream, addr uint64) {
 	// Prefetch the index stream itself.
 	idxTarget := uint64(int64(addr) + int64(dist)*e.stride)
 	if p.env.Probe(idxTarget) == cache.LvlNone {
+		p.stats.Requested++
 		p.env.Issue(idxTarget, UntrackedMeta)
+	} else {
+		p.stats.SkippedResident++
 	}
 	if !e.indValid {
 		return
@@ -114,7 +121,10 @@ func (p *impPF) streamAdvance(e *impStream, addr uint64) {
 	}
 	target := e.indBase + fv<<e.indShift
 	if p.env.Probe(target) == cache.LvlNone {
+		p.stats.Requested++
 		p.env.Issue(target, UntrackedMeta)
+	} else {
+		p.stats.SkippedResident++
 	}
 }
 

@@ -43,6 +43,31 @@ type Env struct {
 	Obs *obs.Recorder
 }
 
+// IssueStats is a prefetcher's own account of what happened to the
+// requests it wanted to make — the scheme-side half of the lifecycle
+// telemetry (the memory-system half lives in sim.Stats). Every scheme
+// that can decline or lose a request implements IssueReporter so the
+// engine can fold these into the per-core prefetch-quality result.
+type IssueStats struct {
+	// Requested counts lines actually handed to Env.Issue.
+	Requested uint64
+	// SkippedResident counts requests elided because the probe found the
+	// line already on chip (redundancy avoided before reaching the memory
+	// system).
+	SkippedResident uint64
+	// DroppedInternal counts requests abandoned inside the prefetcher
+	// before reaching Env.Issue — e.g. Prodigy's PFHR-full drops. MSHR-cap
+	// drops are not included; the engine counts those itself.
+	DroppedInternal uint64
+}
+
+// IssueReporter is implemented by prefetchers that account their issue
+// provenance. The engine type-asserts for it when assembling per-core
+// prefetch quality; schemes without it contribute zeros.
+type IssueReporter interface {
+	IssueStats() IssueStats
+}
+
 // Prefetcher is a per-core hardware prefetcher.
 type Prefetcher interface {
 	// Name identifies the scheme in results tables.

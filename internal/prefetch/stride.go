@@ -34,10 +34,14 @@ type stridePF struct {
 	env   Env
 	cfg   StrideConfig
 	table []strideEntry
+	stats IssueStats
 }
 
 // Name implements Prefetcher.
 func (p *stridePF) Name() string { return "stride" }
+
+// IssueStats implements IssueReporter.
+func (p *stridePF) IssueStats() IssueStats { return p.stats }
 
 // OnDemand trains the per-PC stride table on the demand address and, once
 // a stride repeats, issues Degree prefetches ahead of it.
@@ -67,7 +71,10 @@ func (p *stridePF) OnDemand(now int64, pc uint32, addr uint64, level cache.Level
 	for i := 1; i <= p.cfg.Degree; i++ {
 		target := uint64(int64(addr) + int64(i)*e.stride)
 		if p.env.Probe(target) == cache.LvlNone {
+			p.stats.Requested++
 			p.env.Issue(target, UntrackedMeta)
+		} else {
+			p.stats.SkippedResident++
 		}
 	}
 }

@@ -71,6 +71,27 @@ type Config struct {
 	// every component (see internal/obs). nil disables all
 	// instrumentation; the hooks then cost one branch each.
 	Obs *obs.Recorder
+	// LedgerHook, when set, receives one record per completed prefetch
+	// fill — the opt-in per-line issue→fill detail beyond the packed line
+	// tag and the aggregate counters. The default (nil) costs one branch
+	// per fill and allocates nothing.
+	LedgerHook func(PFLineEvent)
+}
+
+// PFLineEvent is one prefetched line's issue→fill record, delivered to
+// Config.LedgerHook when per-line ledger detail is enabled.
+type PFLineEvent struct {
+	// Core is the issuing core.
+	Core int
+	// LineAddr is the byte address of the line start.
+	LineAddr uint64
+	// IssuedAt/FilledAt are the issue and completion cycles.
+	IssuedAt, FilledAt int64
+	// Level is where the memory system serviced the prefetch.
+	Level cache.Level
+	// DemandMerged reports that a demand reached the line while it was
+	// still in flight (the "late" lifecycle class).
+	DemandMerged bool
 }
 
 // Default returns the Table I machine (capacities scaled per DESIGN.md §2)
@@ -103,6 +124,94 @@ type Stats struct {
 	PrefetchMSHRFull uint64
 }
 
+// PrefetchQuality is one core's prefetch-lifecycle account: every
+// tracked line ends up timely (filled before its first demand use), late
+// (a demand merged while it was in flight), evicted unused (the
+// inaccurate class), redundant (absorbed by resident or in-flight
+// state), or dropped (MSHR cap or scheme-internal pressure such as
+// Prodigy's PFHR file). The derived accuracy/coverage/timeliness match
+// the paper's evaluation axes (Section VI-C, Fig. 15/16).
+type PrefetchQuality struct {
+	// Scheme is the owning prefetcher's name.
+	Scheme string `json:"scheme"`
+	// Issued counts lines sent to the memory system; Fills the completed
+	// installs (FillsMem the DRAM-serviced subset).
+	Issued   uint64 `json:"issued"`
+	Fills    uint64 `json:"fills"`
+	FillsMem uint64 `json:"fills_mem"`
+	// Timely lines were demanded after their fill completed; TimelyMem is
+	// the DRAM-serviced subset (each one a converted demand miss).
+	Timely    uint64 `json:"timely"`
+	TimelyMem uint64 `json:"timely_mem"`
+	// Late lines were demanded while still in flight (partial hiding);
+	// LateMem is the DRAM-serviced subset.
+	Late    uint64 `json:"late"`
+	LateMem uint64 `json:"late_mem"`
+	// EvictedUnused lines left the hierarchy without a demand use.
+	EvictedUnused uint64 `json:"evicted_unused"`
+	// Redundant counts requests absorbed without a new memory-system
+	// transfer: merged with an in-flight line, found L1-resident at issue,
+	// or probe-elided inside the scheme.
+	Redundant uint64 `json:"redundant"`
+	// Dropped counts requests that died before any fill: the engine's
+	// per-core MSHR cap plus scheme-internal drops (PFHR pressure).
+	Dropped uint64 `json:"dropped"`
+	// DemandMisses counts the core's demand accesses serviced by DRAM —
+	// the misses prefetching did not cover.
+	DemandMisses uint64 `json:"demand_misses"`
+}
+
+// Accuracy is the fraction of completed fills that were demanded
+// (timely or late) — the paper's "useful prefetches" (Fig. 15).
+func (q *PrefetchQuality) Accuracy() float64 {
+	if q.Fills == 0 {
+		return 0
+	}
+	return float64(q.Timely+q.Late) / float64(q.Fills)
+}
+
+// Coverage is the fraction of would-be DRAM demand misses that a
+// prefetch converted (fully or partially) — the Fig. 16 axis. Only
+// DRAM-serviced fills count toward the numerator: a prefetch serviced
+// on-chip never stood in for a DRAM miss.
+func (q *PrefetchQuality) Coverage() float64 {
+	covered := q.TimelyMem + q.LateMem
+	if covered+q.DemandMisses == 0 {
+		return 0
+	}
+	return float64(covered) / float64(covered+q.DemandMisses)
+}
+
+// Timeliness is the fraction of demanded prefetches that completed
+// before their first use (timely vs. late).
+func (q *PrefetchQuality) Timeliness() float64 {
+	if q.Timely+q.Late == 0 {
+		return 0
+	}
+	return float64(q.Timely) / float64(q.Timely+q.Late)
+}
+
+// Add folds another core's account into q (aggregate building). The
+// scheme name is kept when consistent and marked mixed otherwise.
+func (q *PrefetchQuality) Add(o PrefetchQuality) {
+	if q.Scheme == "" {
+		q.Scheme = o.Scheme
+	} else if o.Scheme != "" && o.Scheme != q.Scheme {
+		q.Scheme = "mixed"
+	}
+	q.Issued += o.Issued
+	q.Fills += o.Fills
+	q.FillsMem += o.FillsMem
+	q.Timely += o.Timely
+	q.TimelyMem += o.TimelyMem
+	q.Late += o.Late
+	q.LateMem += o.LateMem
+	q.EvictedUnused += o.EvictedUnused
+	q.Redundant += o.Redundant
+	q.Dropped += o.Dropped
+	q.DemandMisses += o.DemandMisses
+}
+
 // Result is everything an experiment needs from one run.
 type Result struct {
 	Cycles int64
@@ -121,6 +230,10 @@ type Result struct {
 	// Prefetchers exposes the per-core prefetcher instances so callers can
 	// type-assert for scheme-specific stats (e.g. *core.Prodigy).
 	Prefetchers []prefetch.Prefetcher
+	// PFQ is the per-core prefetch-lifecycle quality; PFQAgg is the
+	// machine-wide sum. Both are populated on clean and aborted runs.
+	PFQ    []PrefetchQuality
+	PFQAgg PrefetchQuality
 }
 
 // IPC returns retired instructions per cycle across all cores.
@@ -139,7 +252,8 @@ type pfEvent struct {
 	level        cache.Level
 	metas        []uint32
 	demandMerged bool
-	idx          int // heap index
+	issuedAt     int64 // issue cycle (the per-line ledger's timestamp)
+	idx          int   // heap index
 	// flowID links the issue and fill timeline events (0 when tracing is
 	// off).
 	flowID uint64
@@ -186,12 +300,23 @@ type Machine struct {
 	inflightPerCore []int
 	stats           Stats
 
+	// Per-core lifecycle tallies for PrefetchQuality (plain uint64 slices:
+	// the issue/merge paths are hot and must stay allocation-free).
+	// lateLines counts each line's first in-flight merge (Stats.LateMerges
+	// counts every merging demand); lateLinesMem the DRAM-serviced subset.
+	pfIssuedPC    []uint64
+	pfRedundantPC []uint64
+	pfDroppedPC   []uint64
+	lateLines     []uint64
+	lateLinesMem  []uint64
+
 	// Observability counter IDs and the prefetch flow-event sequence
 	// (inert when cfg.Obs is nil).
-	obsPFIssued  obs.CounterID
-	obsLateMerge obs.CounterID
-	obsMSHRFull  obs.CounterID
-	pfFlowSeq    uint64
+	obsPFIssued    obs.CounterID
+	obsLateMerge   obs.CounterID
+	obsMSHRFull    obs.CounterID
+	obsPFRedundant obs.CounterID
+	pfFlowSeq      uint64
 }
 
 // NewMachine wires a machine to a functional memory and per-core
@@ -220,15 +345,23 @@ func NewMachine(cfg Config, space *memspace.Space, gen *trace.Gen) (*Machine, er
 		m.inflight[c] = map[uint64]*pfEvent{}
 	}
 	m.inflightPerCore = make([]int, cfg.Cores)
+	m.pfIssuedPC = make([]uint64, cfg.Cores)
+	m.pfRedundantPC = make([]uint64, cfg.Cores)
+	m.pfDroppedPC = make([]uint64, cfg.Cores)
+	m.lateLines = make([]uint64, cfg.Cores)
+	m.lateLinesMem = make([]uint64, cfg.Cores)
 	if cfg.Obs != nil {
 		names := make([]string, len(cpu.StallKinds))
 		for i, k := range cpu.StallKinds {
 			names[i] = k.String()
 		}
 		cfg.Obs.Start(cfg.Cores, names, func() int64 { return m.now })
-		m.obsPFIssued = cfg.Obs.Counter("sim.pf_issued")
-		m.obsLateMerge = cfg.Obs.Counter("sim.late_merge")
-		m.obsMSHRFull = cfg.Obs.Counter("sim.pf_mshr_full")
+		// Lifecycle counters double as trace counter tracks (prefetch
+		// quality over time in the timeline viewer).
+		m.obsPFIssued = cfg.Obs.TrackCounter("sim.pf_issued")
+		m.obsLateMerge = cfg.Obs.TrackCounter("sim.late_merge")
+		m.obsMSHRFull = cfg.Obs.TrackCounter("sim.pf_mshr_full")
+		m.obsPFRedundant = cfg.Obs.TrackCounter("sim.pf_redundant")
 	}
 	m.hier.Attach(cfg.Obs)
 	m.mem.Attach(cfg.Obs)
@@ -284,6 +417,14 @@ func (m *Machine) demandAccess(core int, now int64, in trace.Instr) (int64, cach
 	// Merge with an in-flight prefetch of the same line: the demand waits
 	// for the outstanding fill instead of issuing its own request.
 	if ev, ok := m.inflight[core][addr/uint64(m.cfg.Cache.LineSize)]; ok {
+		if !ev.demandMerged {
+			// First merge on this line: one "late" lifecycle outcome
+			// (subsequent demands would have hit in cache either way).
+			m.lateLines[core]++
+			if ev.level == cache.LvlMem {
+				m.lateLinesMem[core]++
+			}
+		}
 		ev.demandMerged = true
 		m.stats.LateMerges++
 		m.cfg.Obs.Add(m.obsLateMerge, 1)
@@ -352,12 +493,16 @@ func (m *Machine) issuePrefetch(core int, addr uint64, meta uint32) bool {
 			ev.metas = append(ev.metas, meta)
 		}
 		m.stats.PrefetchMergedResident++
+		m.pfRedundantPC[core]++
+		m.cfg.Obs.Add(m.obsPFRedundant, 1)
 		return true
 	}
 	lvl := m.hier.Probe(core, addr)
 	if lvl == cache.LvlL1 {
 		// Already as close as a prefetch can put it.
 		m.stats.PrefetchMergedResident++
+		m.pfRedundantPC[core]++
+		m.cfg.Obs.Add(m.obsPFRedundant, 1)
 		if meta != prefetch.UntrackedMeta {
 			m.pfs[core].OnFill(m.now, lineAddr, meta, lvl)
 		}
@@ -365,6 +510,7 @@ func (m *Machine) issuePrefetch(core int, addr uint64, meta uint32) bool {
 	}
 	if m.inflightPerCore[core] >= m.cfg.PrefetchMSHRs {
 		m.stats.PrefetchMSHRFull++
+		m.pfDroppedPC[core]++
 		m.cfg.Obs.Add(m.obsMSHRFull, 1)
 		return false
 	}
@@ -390,10 +536,12 @@ func (m *Machine) issuePrefetch(core int, addr uint64, meta uint32) bool {
 	if meta != prefetch.UntrackedMeta {
 		ev.metas = append(ev.metas, meta)
 	}
+	ev.issuedAt = m.now
 	heap.Push(&m.events, ev)
 	m.inflight[core][lineAddr/line] = ev
 	m.inflightPerCore[core]++
 	m.stats.PrefetchIssued++
+	m.pfIssuedPC[core]++
 	if m.cfg.Obs != nil {
 		m.cfg.Obs.Add(m.obsPFIssued, 1)
 		m.pfFlowSeq++
@@ -432,6 +580,11 @@ func (m *Machine) processEvents(now int64) {
 		}
 		if ev.flowID != 0 {
 			m.cfg.Obs.FlowEnd(ev.core, ev.flowID, "prefetch", "pf")
+		}
+		if m.cfg.LedgerHook != nil {
+			m.cfg.LedgerHook(PFLineEvent{Core: ev.core, LineAddr: ev.lineAddr,
+				IssuedAt: ev.issuedAt, FilledAt: now, Level: ev.level,
+				DemandMerged: ev.demandMerged})
 		}
 		for _, meta := range ev.metas {
 			m.pfs[ev.core].OnFill(now, ev.lineAddr, meta, ev.level)
@@ -487,6 +640,33 @@ func (m *Machine) collect(now int64) Result {
 	res.DRAM = m.mem.Stats
 	res.Sim = m.stats
 	res.DRAMUtilization = m.mem.Utilization(now)
+	res.PFQ = make([]PrefetchQuality, len(m.cores))
+	for c := range m.cores {
+		q := &res.PFQ[c]
+		q.Scheme = m.pfs[c].Name()
+		q.Issued = m.pfIssuedPC[c]
+		q.Late = m.lateLines[c]
+		q.LateMem = m.lateLinesMem[c]
+		q.Redundant = m.pfRedundantPC[c]
+		q.Dropped = m.pfDroppedPC[c]
+		life := m.hier.Life[c]
+		q.Fills = life.Fills
+		q.FillsMem = life.FillsMem
+		q.Timely = life.Timely
+		q.TimelyMem = life.TimelyMem
+		q.EvictedUnused = life.EvictedUnused
+		q.DemandMisses = life.DemandMisses
+		// Fold in provenance the prefetcher itself tracked: probe-elided
+		// requests are redundant work avoided, internal drops (e.g. a full
+		// PFHR file) never reached issuePrefetch so the MSHR counter above
+		// cannot see them.
+		if ir, ok := m.pfs[c].(prefetch.IssueReporter); ok {
+			is := ir.IssueStats()
+			q.Redundant += is.SkippedResident
+			q.Dropped += is.DroppedInternal
+		}
+		res.PFQAgg.Add(*q)
+	}
 	return res
 }
 
@@ -575,6 +755,9 @@ func (m *Machine) Run() (Result, error) {
 func Run(cfg Config, space *memspace.Space, gen *trace.Gen, producer func(*trace.Gen)) (Result, error) {
 	m, err := NewMachine(cfg, space, gen)
 	if err != nil {
+		// Close any attached trace/metrics writers so a construction failure
+		// still leaves valid (if empty) output files behind.
+		_ = cfg.Obs.Finish(0)
 		return Result{}, err
 	}
 	wait := gen.Run(producer)
