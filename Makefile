@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint fmt test race bench bench-json stat-smoke tables trace-demo
+.PHONY: check build vet lint fmt test race bench bench-json quick-gate stat-smoke tables trace-demo
 
-check: build vet lint race stat-smoke
+check: build vet lint race stat-smoke quick-gate
 
 build:
 	$(GO) build ./...
@@ -37,11 +37,19 @@ bench:
 
 # Hot-path performance gate: run the microbenchmarks, a wall-clock timing
 # of `prodigy-bench -quick`, and the quick prefetch-quality sweep; write
-# BENCH_5.json and fail if allocs/op on the gated benchmarks or Prodigy's
+# BENCH_6.json and fail if allocs/op on the gated benchmarks or Prodigy's
 # accuracy/coverage regress below the committed baseline
 # (docs/ARCHITECTURE.md §Performance).
 bench-json:
-	$(GO) run ./cmd/bench-json -out BENCH_5.json
+	$(GO) run ./cmd/bench-json -out BENCH_6.json
+
+# Wall-clock regression gate (part of `make check`): time
+# `prodigy-bench -quick` (best of 5, to squeeze out scheduler noise) and
+# fail if it lands more than 10% above the committed BENCH_6.json
+# baseline. Catches simulator throughput regressions without rerunning
+# the full bench-json suite.
+quick-gate:
+	$(GO) run ./cmd/bench-json -quick-gate -quick-runs 5 -out BENCH_6.json
 
 # Smoke test for the prodigy-stat regression gate: a plain diff of the
 # committed fixtures must pass, and a tight -fail-on threshold must fail

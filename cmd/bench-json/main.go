@@ -11,8 +11,16 @@
 // quick sweep's Prodigy accuracy or coverage drops below the committed
 // baseline (beyond a small tolerance), so the hot path stays
 // allocation-free and the prefetcher stays effective by construction.
-// ns/op and wall time are recorded but not gated — they vary with the
-// host.
+// ns/op and wall time are recorded but not gated here — they vary with
+// the host.
+//
+// -quick-gate runs only the wall-clock check: it times
+// `prodigy-bench -quick` (best of -quick-runs) and fails if the best run
+// is more than 10% slower than the committed baseline's quick_bench_ms.
+// `make check` runs this mode, so simulator throughput regressions fail
+// tier-1 verification on the machine that committed the baseline. The
+// 10% margin absorbs scheduler noise; a fresh checkout with no baseline
+// passes trivially.
 package main
 
 import (
@@ -93,14 +101,45 @@ var suites = []struct{ pkg, pattern string }{
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output (and baseline) JSON file")
+	out := flag.String("out", "BENCH_6.json", "output (and baseline) JSON file")
 	quickRuns := flag.Int("quick-runs", 3, "prodigy-bench -quick repetitions (best is kept); 0 skips")
+	quickGate := flag.Bool("quick-gate", false,
+		"only time prodigy-bench -quick and fail if >10% slower than the committed baseline")
 	flag.Parse()
 
-	if err := run(*out, *quickRuns); err != nil {
+	var err error
+	if *quickGate {
+		err = runQuickGate(*out, *quickRuns)
+	} else {
+		err = run(*out, *quickRuns)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench-json:", err)
 		os.Exit(1)
 	}
+}
+
+// runQuickGate is the wall-clock regression gate `make check` runs: no
+// microbenchmarks, no file rewrite — just time the quick bench and
+// compare it against the committed baseline.
+func runQuickGate(out string, runs int) error {
+	baseline := readBaseline(out)
+	if baseline == nil || baseline.QuickBenchMS == 0 || runs <= 0 {
+		fmt.Printf("== quick gate: no committed wall-clock baseline in %s; nothing to gate\n", out)
+		return nil
+	}
+	ms, err := timeQuickBench(runs)
+	if err != nil {
+		return err
+	}
+	limit := baseline.QuickBenchMS + baseline.QuickBenchMS/10
+	if ms > limit {
+		return fmt.Errorf("prodigy-bench -quick regressed: best of %d = %d ms > %d ms (baseline %d ms +10%%, %s)",
+			runs, ms, limit, baseline.QuickBenchMS, out)
+	}
+	fmt.Printf("== quick gate: best of %d = %d ms <= %d ms (baseline %d ms +10%%): ok\n",
+		runs, ms, limit, baseline.QuickBenchMS)
+	return nil
 }
 
 func run(out string, quickRuns int) error {

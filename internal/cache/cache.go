@@ -128,9 +128,12 @@ const (
 	pfMemBit   uint8 = 0x80
 )
 
-// line is one cache line's metadata.
+// line is one cache line's metadata beyond its tag. The tag lives in
+// the bank's dense tags array (structure-of-arrays split) so the
+// hot-path set scan walks contiguous uint64s instead of striding over
+// these wider structs; tags[i] and lines[i] describe the same slot, and
+// tags[i] == 0 if and only if lines[i].state == stInvalid.
 type line struct {
-	tag        uint64 // full line address + 1 (0 = invalid slot never used)
 	state      uint8
 	prefetched bool
 	used       bool // demanded at least once since fill
@@ -143,23 +146,61 @@ type line struct {
 
 // bank is one set-associative cache.
 type bank struct {
+	// tags[i] is slot i's full line address + 1 (0 = invalid), kept
+	// separate from lines so findIdx/findOrVictim scan a dense array.
+	tags    []uint64
 	lines   []line
 	assoc   int
 	setMask uint64
 	tick    uint32
+	// filter counts resident lines per line-address hash bucket: a zero
+	// bucket proves the line is absent, letting findIdx skip the set
+	// scan. Prefetch probes miss every level most of the time, so the
+	// reject path is the common one. The counter cannot overflow: a
+	// bucket counts at most every resident line in the bank, which is
+	// far below 2^16. setTag keeps it exact.
+	filter []uint16
+	fmask  uint64
 	// sharers is per-set-way core presence (L3 directory only), indexed
 	// like lines.
 	sharers []uint64
+}
+
+// filterFib is the 64-bit Fibonacci hashing multiplier; the shifted
+// product spreads line addresses that alias in their low bits.
+const filterFib = 0x9E3779B97F4A7C15
+
+func (b *bank) fhash(lineAddr uint64) uint64 {
+	return (lineAddr * filterFib) >> 32 & b.fmask
+}
+
+// setTag points slot i at a new tag (0 = invalidate), keeping the
+// presence filter in step. Every tag write goes through here.
+func (b *bank) setTag(i int, tag uint64) {
+	if old := b.tags[i]; old != 0 {
+		b.filter[b.fhash(old-1)]--
+	}
+	if tag != 0 {
+		b.filter[b.fhash(tag-1)]++
+	}
+	b.tags[i] = tag
 }
 
 // newBank assumes Config.Validate already approved the geometry (power
 // of two set count).
 func newBank(sizeBytes, assoc, lineSize int, directory bool) *bank {
 	numSets := setCount(sizeBytes, assoc, lineSize)
+	fsize := 4
+	for fsize < 4*numSets*assoc {
+		fsize *= 2
+	}
 	b := &bank{
+		tags:    make([]uint64, numSets*assoc),
 		lines:   make([]line, numSets*assoc),
 		assoc:   assoc,
 		setMask: uint64(numSets - 1),
+		filter:  make([]uint16, fsize),
+		fmask:   uint64(fsize - 1),
 	}
 	if directory {
 		b.sharers = make([]uint64, numSets*assoc)
@@ -170,10 +211,13 @@ func newBank(sizeBytes, assoc, lineSize int, directory bool) *bank {
 // findIdx returns the global slot index of lineAddr in b.lines, or -1.
 // This is the hot-path lookup: one scan over the set, no slicing.
 func (b *bank) findIdx(lineAddr uint64) int {
+	if b.filter[b.fhash(lineAddr)] == 0 {
+		return -1
+	}
 	s := int(lineAddr&b.setMask) * b.assoc
 	tag := lineAddr + 1
 	for i := s; i < s+b.assoc; i++ {
-		if b.lines[i].tag == tag {
+		if b.tags[i] == tag {
 			return i
 		}
 	}
@@ -190,15 +234,14 @@ func (b *bank) findOrVictim(lineAddr uint64) (int, bool) {
 	invalid := -1
 	victim, bestLRU := s, uint32(^uint32(0))
 	for i := s; i < s+b.assoc; i++ {
-		ln := &b.lines[i]
-		if ln.tag == tag {
+		if b.tags[i] == tag {
 			return i, true
 		}
-		if ln.state == stInvalid {
+		if b.tags[i] == 0 {
 			if invalid < 0 {
 				invalid = i
 			}
-		} else if ln.lru < bestLRU {
+		} else if ln := &b.lines[i]; ln.lru < bestLRU {
 			victim, bestLRU = i, ln.lru
 		}
 	}
@@ -236,6 +279,7 @@ func (b *bank) invalidate(lineAddr uint64) (uint8, bool) {
 	}
 	st := b.lines[i].state
 	b.lines[i] = line{}
+	b.setTag(i, 0)
 	return st, true
 }
 
@@ -589,7 +633,8 @@ func (h *Hierarchy) fillL1(core int, la uint64, state uint8, prefetched, used bo
 	}
 	// A dirty L1 victim falls back to L2/L3 silently (inclusive hierarchy:
 	// the outer levels still hold the line and the directory bit).
-	b.lines[i] = line{tag: la + 1, state: state, prefetched: prefetched, used: used, pfTag: pfTag}
+	b.lines[i] = line{state: state, prefetched: prefetched, used: used, pfTag: pfTag}
+	b.setTag(i, la+1)
 	b.touchIdx(i)
 }
 
@@ -600,9 +645,9 @@ func (h *Hierarchy) fillL2(core int, la uint64, state uint8, prefetched, used bo
 		b.touchIdx(i)
 		return
 	}
-	if v := &b.lines[i]; v.tag != 0 {
-		victimAddr := v.tag - 1
-		dirty := v.state == stModified
+	if b.tags[i] != 0 {
+		victimAddr := b.tags[i] - 1
+		dirty := b.lines[i].state == stModified
 		// L1 must stay a subset of L2.
 		if st, ok := h.l1[core].invalidate(victimAddr); ok && st == stModified {
 			dirty = true
@@ -622,7 +667,8 @@ func (h *Hierarchy) fillL2(core int, la uint64, state uint8, prefetched, used bo
 			}
 		}
 	}
-	b.lines[i] = line{tag: la + 1, state: state, prefetched: prefetched, used: used, pfTag: pfTag}
+	b.lines[i] = line{state: state, prefetched: prefetched, used: used, pfTag: pfTag}
+	b.setTag(i, la+1)
 	b.touchIdx(i)
 }
 
@@ -634,14 +680,15 @@ func (h *Hierarchy) fillL3(core int, la uint64, modified, prefetched bool, pfTag
 		b.sharers[i] |= 1 << uint(core)
 		return
 	}
-	if b.lines[i].tag != 0 {
-		h.evictL3(b.lines[i].tag-1, i)
+	if b.tags[i] != 0 {
+		h.evictL3(b.tags[i]-1, i)
 	}
 	st := uint8(stExclusive)
 	if modified {
 		st = stModified
 	}
-	b.lines[i] = line{tag: la + 1, state: st, prefetched: prefetched, pfTag: pfTag}
+	b.lines[i] = line{state: st, prefetched: prefetched, pfTag: pfTag}
+	b.setTag(i, la+1)
 	b.sharers[i] = 1 << uint(core)
 	b.touchIdx(i)
 }

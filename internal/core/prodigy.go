@@ -100,6 +100,21 @@ type Prodigy struct {
 	// node-table RAM); advance dereferences it once per edge per element,
 	// where DIG.NodeByID's linear scan showed up in profiles.
 	byID []*dig.Node
+	// trigByID, leafByID, and rangedOut are per-NodeID tables resolved
+	// once at programming time (the DIG is immutable after Build): the
+	// trigger state, whether the node has no out-edges, and whether any
+	// out-edge is ranged. They keep map lookups and edge-list scans off
+	// the per-demand hot path.
+	trigByID  []*trigState
+	leafByID  []bool
+	rangedOut []bool
+	// lastNode short-circuits the per-demand node-table scan when
+	// consecutive demands land in the same node (the overwhelmingly
+	// common case while streaming through an array). Only used when the
+	// node ranges are pairwise disjoint, so the shortcut returns exactly
+	// what the scan would.
+	lastNode     *dig.Node
+	nodesOverlap bool
 	// oneStep marks a reactive demand-advance in progress: its requests go
 	// out untracked (no PFHR, no continuation) — later demands re-arm the
 	// next level, while PFHRs stay available for deep sequence walks.
@@ -163,13 +178,35 @@ func NewPrefetcher(env prefetch.Env, d *dig.DIG, cfg Config) *Prodigy {
 	for i := range d.Nodes {
 		p.byID[d.Nodes[i].ID] = &d.Nodes[i]
 	}
+	p.trigByID = make([]*trigState, int(maxID)+1)
+	p.leafByID = make([]bool, int(maxID)+1)
+	p.rangedOut = make([]bool, int(maxID)+1)
+	for i := range d.Nodes {
+		id := d.Nodes[i].ID
+		p.leafByID[id] = d.IsLeaf(id)
+		for _, e := range d.OutEdges(id) {
+			if e.Type == dig.Ranged {
+				p.rangedOut[id] = true
+			}
+		}
+	}
+	for i := range d.Nodes {
+		for j := i + 1; j < len(d.Nodes); j++ {
+			a, b := &d.Nodes[i], &d.Nodes[j]
+			if a.Base < b.Bound && b.Base < a.Bound {
+				p.nodesOverlap = true
+			}
+		}
+	}
 	for _, id := range d.TriggerNodes() {
-		p.trig[id] = &trigState{
+		ts := &trigState{
 			lastDemandIdx: -1,
 			look:          int64(d.Lookahead(id)),
 			numSeqs:       int64(d.NumSeqs(id)),
 			descending:    d.TriggerCfg[id].Descending,
 		}
+		p.trig[id] = ts
+		p.trigByID[id] = ts
 	}
 	// PFHR occupancy and sequence counters for the interval metrics.
 	// Counters are shared across cores (deduped by name); the occupancy
@@ -238,9 +275,15 @@ func (p *Prodigy) OnDemand(now int64, pc uint32, addr uint64, level cache.Level)
 	if p.paused {
 		return
 	}
-	n := p.d.NodeContaining(addr)
-	if n == nil {
-		return
+	n := p.lastNode
+	if n == nil || !n.Contains(addr) {
+		n = p.d.NodeContaining(addr)
+		if n == nil {
+			return
+		}
+		if !p.nodesOverlap {
+			p.lastNode = n
+		}
 	}
 	if !n.IsTrigger {
 		p.demandAdvance(n, addr)
@@ -250,7 +293,7 @@ func (p *Prodigy) OnDemand(now int64, pc uint32, addr uint64, level cache.Level)
 	// covered this element was dropped or squashed, the demand re-arms its
 	// downstream walk (partial hiding beats none).
 	p.demandAdvance(n, addr)
-	ts := p.trig[n.ID]
+	ts := p.trigByID[n.ID]
 	idx := int64(n.Index(addr))
 	if ts.started && idx == ts.lastDemandIdx {
 		return // same work item; no new trigger event
@@ -307,13 +350,7 @@ func (p *Prodigy) OnDemand(now int64, pc uint32, addr uint64, level cache.Level)
 // prefetching it reactively can no longer hide anything and only floods
 // the memory controller.
 func (p *Prodigy) demandAdvance(n *dig.Node, addr uint64) {
-	ranged := false
-	for _, e := range p.d.OutEdges(n.ID) {
-		if e.Type == dig.Ranged {
-			ranged = true
-		}
-	}
-	if !ranged {
+	if !p.rangedOut[n.ID] {
 		return
 	}
 	line := uint64(p.env.LineSize)
@@ -390,17 +427,18 @@ func (p *Prodigy) requestElems(n *dig.Node, trigAddr, addr uint64, count uint64,
 	if end > n.Bound {
 		end = n.Bound
 	}
+	elem := uint64(n.DataSize)
 	for cur := addr; cur < end; {
 		lineAddr := cur / line * line
 		next := lineAddr + line
 		if next > end {
 			next = end
 		}
-		// Element-offset bitmap within this line (Fig. 9d).
-		var bitmap uint64
-		for e := cur; e < next; e += uint64(n.DataSize) {
-			bitmap |= 1 << ((e - lineAddr) / uint64(n.DataSize))
-		}
+		// Element-offset bitmap within this line (Fig. 9d): the covered
+		// elements are contiguous, so the bitmap is a shifted run of ones.
+		first := (cur - lineAddr) / elem
+		nbits := (next - cur + elem - 1) / elem
+		bitmap := (uint64(1)<<nbits - 1) << first
 		p.requestLine(n, trigAddr, lineAddr, bitmap, depth, kind)
 		cur = next
 	}
@@ -420,8 +458,9 @@ func (p *Prodigy) countIssuedLine(kind int) {
 }
 
 func (p *Prodigy) requestLine(n *dig.Node, trigAddr, lineAddr uint64, bitmap uint64, depth int, kind int) {
-	leaf := p.d.IsLeaf(n.ID) || p.oneStep
-	if lvl := p.env.Probe(lineAddr); lvl == cache.LvlL1 {
+	leaf := p.leafByID[n.ID] || p.oneStep
+	lvl := p.env.Probe(lineAddr)
+	if lvl == cache.LvlL1 {
 		p.Stats.ResidentSkipped++
 		if !leaf {
 			// Data is on chip: advance the sequence immediately, as the
@@ -436,28 +475,28 @@ func (p *Prodigy) requestLine(n *dig.Node, trigAddr, lineAddr uint64, bitmap uin
 	// traffic that would otherwise evict it before the demand arrives.
 	if leaf {
 		p.countIssuedLine(kind)
-		p.env.Issue(lineAddr, prefetch.UntrackedMeta)
+		p.env.IssueProbed(lineAddr, prefetch.UntrackedMeta, lvl)
 		return
 	}
-	// Merge with an existing PFHR for the same node and line (the offset
-	// bitmap exists exactly for this) and adopt the newer anchor: keeping
+	// One scan finds both a merge target and the first free register.
+	// Merging with an existing PFHR for the same node and line (the offset
+	// bitmap exists exactly for this) adopts the newer anchor: keeping
 	// the oldest anchor would let one drop-on-catch-up kill every merged
 	// sequence the moment the demand reaches the first of them, while
 	// allocating one PFHR per sequence would exhaust the 16-entry file.
+	idx := -1
 	for i := range p.regs {
 		r := &p.regs[i]
-		if !r.free && r.node == n.ID && r.lineAddr == lineAddr {
+		if r.free {
+			if idx < 0 {
+				idx = i
+			}
+			continue
+		}
+		if r.node == n.ID && r.lineAddr == lineAddr {
 			r.bitmap |= bitmap
 			r.trigAddr = trigAddr
 			return
-		}
-	}
-	// Allocate a PFHR.
-	idx := -1
-	for i := range p.regs {
-		if p.regs[i].free {
-			idx = i
-			break
 		}
 	}
 	if idx < 0 {
@@ -473,7 +512,7 @@ func (p *Prodigy) requestLine(n *dig.Node, trigAddr, lineAddr uint64, bitmap uin
 	r.lineAddr = lineAddr
 	r.bitmap = bitmap
 	p.countIssuedLine(kind)
-	if !p.env.Issue(lineAddr, p.meta(idx)) {
+	if !p.env.IssueProbed(lineAddr, p.meta(idx), lvl) {
 		// The memory system dropped the request (MSHR cap): no fill will
 		// ever arrive, so release the register instead of leaking it.
 		r.free = true

@@ -179,16 +179,30 @@ func (c *Core) ReleaseBarrier() { c.atBarrier = false }
 
 const farFuture = int64(1) << 62
 
-// Step runs the core at cycle now: it first attributes the cycles since
-// its previous step to the stall class chosen then, then retires and
-// dispatches. It returns the next cycle at which the core can make
-// progress (farFuture when done or parked at a barrier).
-func (c *Core) Step(now int64) int64 {
+// AttributeUpTo charges the cycles since the core's last attribution to
+// its pending stall class without advancing any pipeline state. Step and
+// FinishAt both run through it; the engine also calls it directly on
+// sleeping cores before flushing interval metrics, so a core that the
+// wakeup scheduler has not stepped for many cycles still has its stall
+// time attributed at every interval boundary. Attributing the same span
+// in one large chunk or many small ones is equivalent: the pending class
+// cannot change between two steps of the same core.
+func (c *Core) AttributeUpTo(now int64) {
 	if delta := now - c.lastTime; delta > 0 {
 		c.Stack.Cycles[c.pendingClass] += delta
 		c.obsRec.StallSpan(c.obsID, int(c.pendingClass), c.lastTime, now)
 		c.lastTime = now
 	}
+}
+
+// Step runs the core at cycle now: it first attributes the cycles since
+// its previous step to the stall class chosen then, then retires and
+// dispatches. It returns the next cycle at which the core can make
+// progress (farFuture when done or parked at a barrier). The returned
+// wakeup is exact: stepping the core at any earlier cycle changes no
+// pipeline state, so the engine's scheduler skips the core until then.
+func (c *Core) Step(now int64) int64 {
+	c.AttributeUpTo(now)
 	if c.done {
 		c.pendingClass = OtherStall
 		return farFuture
@@ -362,9 +376,5 @@ func (c *Core) predict(pc uint32, taken bool) bool {
 
 // FinishAt attributes the tail cycles at the end of simulation.
 func (c *Core) FinishAt(end int64) {
-	if delta := end - c.lastTime; delta > 0 {
-		c.Stack.Cycles[c.pendingClass] += delta
-		c.obsRec.StallSpan(c.obsID, int(c.pendingClass), c.lastTime, end)
-		c.lastTime = end
-	}
+	c.AttributeUpTo(end)
 }

@@ -220,11 +220,30 @@ func (h *Harness) key(algo, dataset string, scheme Scheme, v runVariant) string 
 	return fmt.Sprintf("%s|%s|%s|%+v", algo, dataset, scheme, v)
 }
 
+// canonVariant rewrites variant knobs that merely restate the harness
+// defaults to their zero values, so e.g. Fig. 12's pfhr=16 sweep point
+// and the default Prodigy configuration share one memoized simulation
+// (they build byte-identical machines).
+func (h *Harness) canonVariant(v runVariant) runVariant {
+	pfhrDefault := h.Cfg.PFHREntries
+	if pfhrDefault == 0 {
+		pfhrDefault = core.DefaultConfig().PFHREntries
+	}
+	if v.pfhr == pfhrDefault {
+		v.pfhr = 0
+	}
+	if v.cores == h.Cfg.Cores {
+		v.cores = 0
+	}
+	return v
+}
+
 // run returns the memoized result for one grid cell, simulating it on
 // first request. It is safe for concurrent use: concurrent requests for
 // the same cell share a single simulation, and a panicking simulation is
 // converted into a tagged error instead of killing the sweep.
 func (h *Harness) run(algo, dataset string, scheme Scheme, v runVariant) (*Run, error) {
+	v = h.canonVariant(v)
 	key := h.key(algo, dataset, scheme, v)
 	h.mu.Lock()
 	e, ok := h.cache[key]

@@ -51,6 +51,7 @@ func (l *jobList) add(h *Harness, algo, dataset string, scheme Scheme, v runVari
 	if l.seen == nil {
 		l.seen = map[string]bool{}
 	}
+	v = h.canonVariant(v)
 	key := h.key(algo, dataset, scheme, v)
 	if l.seen[key] {
 		return

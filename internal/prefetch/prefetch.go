@@ -36,11 +36,28 @@ type Env struct {
 	// (per-core MSHR cap) and no fill will ever arrive — trackers must
 	// release any state tied to the request.
 	Issue func(addr uint64, meta uint32) bool
+	// IssueAt is Issue for callers that already probed the line's level
+	// this cycle (lvl must be the current Probe result and must not be
+	// LvlL1): the memory system reuses it instead of probing again.
+	// Probe-then-issue is the DIG walk's inner loop, so the saved scan
+	// is measurable.
+	IssueAt func(addr uint64, meta uint32, lvl cache.Level) bool
 	// Obs is the simulation's observability recorder; nil (the common
 	// case) disables instrumentation. Prefetchers may register counters
 	// and gauges against it at construction and emit events during the
 	// run — every recorder method is safe on a nil receiver.
 	Obs *obs.Recorder
+}
+
+// IssueProbed issues through IssueAt when the environment provides it,
+// falling back to Issue (hand-built test environments often wire only
+// Issue; the probed level is then simply re-derived by the memory
+// system).
+func (e *Env) IssueProbed(addr uint64, meta uint32, lvl cache.Level) bool {
+	if e.IssueAt != nil {
+		return e.IssueAt(addr, meta, lvl)
+	}
+	return e.Issue(addr, meta)
 }
 
 // IssueStats is a prefetcher's own account of what happened to the

@@ -7,12 +7,21 @@
 // loads resolve through the hierarchy with Table I latencies, prefetches
 // are asynchronous events that fill the L1D on completion, demand accesses
 // to in-flight prefetch lines merge (partial latency hiding), and barriers
-// synchronize cores. Time advances by skipping to the next interesting
-// cycle, so fully-stalled regions cost no simulation work.
+// synchronize cores.
+//
+// Time is advanced by a wakeup scheduler, not a cycle stepper: Run keeps
+// a per-core wakeup cycle plus a min-heap of pending prefetch fills,
+// jumps the clock directly to the earliest of them, and at each visited
+// cycle runs only the work due there — a core sleeping on a DRAM miss
+// costs nothing until its fill returns. The time model (wakeup sources,
+// same-cycle ordering and tie-breaks, determinism invariants, a worked
+// load-lifetime example) is specified in docs/SIMULATION.md; the
+// scheduler is cross-checked against a retained per-cycle reference
+// loop in ref_test.go, which requires full-result equality on
+// randomized workloads.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -259,24 +268,174 @@ type pfEvent struct {
 	flowID uint64
 }
 
-// eventHeap is a min-heap of pending prefetch completions ordered by ready
-// cycle (container/heap.Interface).
+// eventHeap is a min-heap of pending prefetch completions ordered by
+// ready cycle. It is hand-rolled rather than built on container/heap:
+// the interface-based version paid a dynamic dispatch per comparison on
+// one of the simulator's hottest structures. Each event carries its heap
+// index so a promotion (demand merging with an in-flight prefetch) can
+// re-sift just that entry.
 type eventHeap []*pfEvent
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].ready < h[j].ready }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
-func (h *eventHeap) Push(x interface{}) { e := x.(*pfEvent); e.idx = len(*h); *h = append(*h, e) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// siftUp moves the entry at i toward the root until its parent is no
+// later.
+func (h eventHeap) siftUp(i int) {
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].ready <= e.ready {
+			break
+		}
+		h[i] = h[p]
+		h[i].idx = i
+		i = p
+	}
+	h[i] = e
+	e.idx = i
 }
 
-// Machine is one assembled simulation instance.
+// siftDown moves the entry at i toward the leaves until both children
+// are no earlier.
+func (h eventHeap) siftDown(i int) {
+	e := h[i]
+	n := len(h)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h[r].ready < h[c].ready {
+			c = r
+		}
+		if e.ready <= h[c].ready {
+			break
+		}
+		h[i] = h[c]
+		h[i].idx = i
+		i = c
+	}
+	h[i] = e
+	e.idx = i
+}
+
+// push inserts e.
+func (h *eventHeap) push(e *pfEvent) {
+	*h = append(*h, e)
+	(*h).siftUp(len(*h) - 1)
+}
+
+// popMin removes and returns the earliest event.
+func (h *eventHeap) popMin() *pfEvent {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		(*h).siftDown(0)
+	}
+	return top
+}
+
+// fix restores heap order after the entry at i changed its ready cycle.
+func (h eventHeap) fix(i int) {
+	h.siftUp(i)
+	h.siftDown(i)
+}
+
+// pfTable is a fixed-size open-addressed hash table from line index to
+// pending prefetch event (linear probing, backward-shift deletion). It
+// replaces a Go map on the demand-access hot path: the table is sized to
+// four slots per possible live entry (the MSHR cap bounds occupancy), so
+// probes terminate almost immediately and no allocation ever happens
+// after init. Keys are stored as lineIdx+1 so the zero value means
+// "empty slot".
+type pfTable struct {
+	keys []uint64
+	vals []*pfEvent
+	mask uint64
+}
+
+// fibMult is the 64-bit Fibonacci hashing multiplier (2^64/phi).
+const fibMult = 0x9E3779B97F4A7C15
+
+func (t *pfTable) init(capacity int) {
+	size := 4
+	for size < 4*capacity {
+		size *= 2
+	}
+	t.keys = make([]uint64, size)
+	t.vals = make([]*pfEvent, size)
+	t.mask = uint64(size - 1)
+}
+
+func (t *pfTable) home(key uint64) uint64 {
+	return (key * fibMult) & t.mask
+}
+
+// get returns the event indexed at lineIdx, or nil.
+func (t *pfTable) get(lineIdx uint64) *pfEvent {
+	key := lineIdx + 1
+	for i := t.home(key); ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case key:
+			return t.vals[i]
+		case 0:
+			return nil
+		}
+	}
+}
+
+// put inserts an event; lineIdx must not already be present (issuePrefetch
+// merges with the existing event before inserting).
+func (t *pfTable) put(lineIdx uint64, ev *pfEvent) {
+	key := lineIdx + 1
+	i := t.home(key)
+	for t.keys[i] != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.keys[i] = key
+	t.vals[i] = ev
+}
+
+// del removes lineIdx (which must be present), back-shifting the probe
+// chain so no tombstones accumulate.
+func (t *pfTable) del(lineIdx uint64) {
+	key := lineIdx + 1
+	i := t.home(key)
+	for t.keys[i] != key {
+		i = (i + 1) & t.mask
+	}
+	for {
+		t.keys[i] = 0
+		t.vals[i] = nil
+		j := i
+		for {
+			j = (j + 1) & t.mask
+			if t.keys[j] == 0 {
+				return
+			}
+			// Move j's entry into the hole unless its home slot lies
+			// cyclically after the hole (in which case the chain from the
+			// hole to j is still intact without it).
+			if (j-t.home(t.keys[j]))&t.mask >= (j-i)&t.mask {
+				t.keys[i] = t.keys[j]
+				t.vals[i] = t.vals[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// Machine is one assembled simulation instance: the cores, hierarchy,
+// DRAM controller, TLBs and prefetchers built from one Config, plus the
+// scheduler state Run drives them with (the fill event heap, per-core
+// in-flight prefetch tables, and lifecycle tallies). A Machine is
+// single-goroutine and single-use: build with NewMachine, drive with
+// Run, read the returned Result. Nothing in it is shared between runs,
+// which is what makes parallel experiment sweeps trivially safe (see
+// docs/ARCHITECTURE.md).
 type Machine struct {
 	cfg   Config
 	space *memspace.Space
@@ -288,10 +447,11 @@ type Machine struct {
 
 	now    int64
 	events eventHeap
-	// inflight maps line index -> pending event, one map per core: the
-	// hot path avoids hashing a two-field struct key, and each map stays
-	// small (bounded by the per-core MSHR cap).
-	inflight []map[uint64]*pfEvent
+	// inflight indexes pending events by line index, one table per core:
+	// an open-addressed table beats a Go map here because the lookup runs
+	// on every demand access, and the live-entry count is bounded by the
+	// per-core MSHR cap so the table stays sparse.
+	inflight []pfTable
 	// pfFree recycles completed pfEvents (and their metas backing arrays)
 	// so steady-state prefetch traffic allocates nothing.
 	pfFree []*pfEvent
@@ -340,9 +500,9 @@ func NewMachine(cfg Config, space *memspace.Space, gen *trace.Gen) (*Machine, er
 		hier:  hier,
 		mem:   dram.New(cfg.DRAM),
 	}
-	m.inflight = make([]map[uint64]*pfEvent, cfg.Cores)
+	m.inflight = make([]pfTable, cfg.Cores)
 	for c := range m.inflight {
-		m.inflight[c] = map[uint64]*pfEvent{}
+		m.inflight[c].init(cfg.PrefetchMSHRs)
 	}
 	m.inflightPerCore = make([]int, cfg.Cores)
 	m.pfIssuedPC = make([]uint64, cfg.Cores)
@@ -378,7 +538,10 @@ func NewMachine(cfg Config, space *memspace.Space, gen *trace.Gen) (*Machine, er
 			Probe:    func(addr uint64) cache.Level { return m.hier.Probe(core, addr) },
 			Read:     func(addr uint64) (uint64, bool) { return space.ReadAt(addr) },
 			Issue:    func(addr uint64, meta uint32) bool { return m.issuePrefetch(core, addr, meta) },
-			Obs:      cfg.Obs,
+			IssueAt: func(addr uint64, meta uint32, lvl cache.Level) bool {
+				return m.issuePrefetchAt(core, addr, meta, lvl)
+			},
+			Obs: cfg.Obs,
 		}
 		m.pfs = append(m.pfs, fac(env))
 		memFn := func(now int64, in trace.Instr) (int64, cache.Level) {
@@ -415,46 +578,50 @@ func (m *Machine) demandAccess(core int, now int64, in trace.Instr) (int64, cach
 	write := in.Kind == trace.Store || in.Kind == trace.Atomic
 
 	// Merge with an in-flight prefetch of the same line: the demand waits
-	// for the outstanding fill instead of issuing its own request.
-	if ev, ok := m.inflight[core][addr/uint64(m.cfg.Cache.LineSize)]; ok {
-		if !ev.demandMerged {
-			// First merge on this line: one "late" lifecycle outcome
-			// (subsequent demands would have hit in cache either way).
-			m.lateLines[core]++
-			if ev.level == cache.LvlMem {
-				m.lateLinesMem[core]++
-			}
-		}
-		ev.demandMerged = true
-		m.stats.LateMerges++
-		m.cfg.Obs.Add(m.obsLateMerge, 1)
-		var ready int64
-		if in.Kind == trace.Store {
-			// Plain stores drain through the store buffer: the core moves on
-			// at once, exactly as on the DRAM-miss path below. The in-flight
-			// prefetch already booked the line transfer, so no promotion and
-			// no extra bandwidth; only atomics wait for the fill.
-			ready = now + 1
-		} else {
-			// Promote the in-flight prefetch to demand priority (MSHR
-			// promotion): a prefetch deep in the low-priority queue must not
-			// make the demand wait longer than a fresh demand read would. The
-			// line transfer is already booked, so no new bandwidth is consumed.
-			if ev.level == cache.LvlMem {
-				promoted := m.mem.Promote(now + tlbLat + int64(m.cfg.Cache.L3Lat))
-				if promoted < ev.ready {
-					ev.ready = promoted
-					heap.Fix(&m.events, ev.idx)
+	// for the outstanding fill instead of issuing its own request. The
+	// occupancy counter gates the table probe so prefetch-less runs pay
+	// one compare here.
+	if m.inflightPerCore[core] != 0 {
+		if ev := m.inflight[core].get(addr / uint64(m.cfg.Cache.LineSize)); ev != nil {
+			if !ev.demandMerged {
+				// First merge on this line: one "late" lifecycle outcome
+				// (subsequent demands would have hit in cache either way).
+				m.lateLines[core]++
+				if ev.level == cache.LvlMem {
+					m.lateLinesMem[core]++
 				}
 			}
-			base := ev.ready
-			if base < now {
-				base = now
+			ev.demandMerged = true
+			m.stats.LateMerges++
+			m.cfg.Obs.Add(m.obsLateMerge, 1)
+			var ready int64
+			if in.Kind == trace.Store {
+				// Plain stores drain through the store buffer: the core moves on
+				// at once, exactly as on the DRAM-miss path below. The in-flight
+				// prefetch already booked the line transfer, so no promotion and
+				// no extra bandwidth; only atomics wait for the fill.
+				ready = now + 1
+			} else {
+				// Promote the in-flight prefetch to demand priority (MSHR
+				// promotion): a prefetch deep in the low-priority queue must not
+				// make the demand wait longer than a fresh demand read would. The
+				// line transfer is already booked, so no new bandwidth is consumed.
+				if ev.level == cache.LvlMem {
+					promoted := m.mem.Promote(now + tlbLat + int64(m.cfg.Cache.L3Lat))
+					if promoted < ev.ready {
+						ev.ready = promoted
+						m.events.fix(ev.idx)
+					}
+				}
+				base := ev.ready
+				if base < now {
+					base = now
+				}
+				ready = base + tlbLat + int64(m.cfg.Cache.L1Lat)
 			}
-			ready = base + tlbLat + int64(m.cfg.Cache.L1Lat)
+			m.pfs[core].OnDemand(now, in.PC, addr, ev.level)
+			return ready, ev.level
 		}
-		m.pfs[core].OnDemand(now, in.PC, addr, ev.level)
-		return ready, ev.level
 	}
 
 	res := m.hier.Access(core, addr, write)
@@ -479,13 +646,25 @@ func (m *Machine) demandAccess(core int, now int64, in trace.Instr) (int64, cach
 	return ready, res.Level
 }
 
+// lvlUnprobed is issuePrefetchAt's "caller did not probe" sentinel
+// (outside every real cache.Level value).
+const lvlUnprobed = cache.Level(0xFF)
+
 // issuePrefetch enqueues a prefetch for core. Requests to resident or
 // already-in-flight lines are merged. It returns false only when the
 // request was dropped at the MSHR cap (no fill will arrive).
 func (m *Machine) issuePrefetch(core int, addr uint64, meta uint32) bool {
+	return m.issuePrefetchAt(core, addr, meta, lvlUnprobed)
+}
+
+// issuePrefetchAt is issuePrefetch with the caller's own probe result
+// (Env.IssueAt): probed levels other than the sentinel skip the
+// hierarchy probe. Nothing can move the line between the caller's probe
+// and this call, so reusing the level is exact.
+func (m *Machine) issuePrefetchAt(core int, addr uint64, meta uint32, probed cache.Level) bool {
 	line := uint64(m.cfg.Cache.LineSize)
 	lineAddr := addr / line * line
-	if ev, ok := m.inflight[core][lineAddr/line]; ok {
+	if ev := m.inflight[core].get(lineAddr / line); ev != nil {
 		if meta != prefetch.UntrackedMeta && !containsMeta(ev.metas, meta) {
 			// Duplicate metas would deliver duplicate OnFill callbacks for
 			// one physical fill, letting fill-cascading prefetchers
@@ -497,7 +676,10 @@ func (m *Machine) issuePrefetch(core int, addr uint64, meta uint32) bool {
 		m.cfg.Obs.Add(m.obsPFRedundant, 1)
 		return true
 	}
-	lvl := m.hier.Probe(core, addr)
+	lvl := probed
+	if lvl == lvlUnprobed {
+		lvl = m.hier.Probe(core, addr)
+	}
 	if lvl == cache.LvlL1 {
 		// Already as close as a prefetch can put it.
 		m.stats.PrefetchMergedResident++
@@ -537,8 +719,8 @@ func (m *Machine) issuePrefetch(core int, addr uint64, meta uint32) bool {
 		ev.metas = append(ev.metas, meta)
 	}
 	ev.issuedAt = m.now
-	heap.Push(&m.events, ev)
-	m.inflight[core][lineAddr/line] = ev
+	m.events.push(ev)
+	m.inflight[core].put(lineAddr/line, ev)
 	m.inflightPerCore[core]++
 	m.stats.PrefetchIssued++
 	m.pfIssuedPC[core]++
@@ -563,8 +745,8 @@ func containsMeta(metas []uint32, m uint32) bool {
 // processEvents completes every prefetch due at or before now.
 func (m *Machine) processEvents(now int64) {
 	for len(m.events) > 0 && m.events[0].ready <= now {
-		ev := heap.Pop(&m.events).(*pfEvent)
-		delete(m.inflight[ev.core], ev.lineAddr/uint64(m.cfg.Cache.LineSize))
+		ev := m.events.popMin()
+		m.inflight[ev.core].del(ev.lineAddr / uint64(m.cfg.Cache.LineSize))
 		m.inflightPerCore[ev.core]--
 		m.now = now
 		if m.cfg.PrefetchFillL2 {
@@ -599,26 +781,16 @@ func (m *Machine) processEvents(now int64) {
 	}
 }
 
-// allActiveParked reports whether at least one core is unfinished and all
-// unfinished cores sit at the barrier.
-func (m *Machine) allActiveParked() bool {
-	active := 0
-	for _, c := range m.cores {
-		if c.Done() {
-			continue
-		}
-		if !c.AtBarrier() {
-			return false
-		}
-		active++
-	}
-	return active > 0
-}
-
 // interruptPollMask throttles Interrupt polling to every 64th scheduling
 // iteration (with a poll on the very first one, so an already-expired
 // deadline aborts before any work).
 const interruptPollMask = 63
+
+// farFuture is the scheduler's "never" sentinel: a core whose wakeup is
+// farFuture is done or parked at a barrier and is skipped until an
+// external event (barrier release) re-arms it. It matches the sentinel
+// cpu.Core.Step returns.
+const farFuture = int64(1) << 62
 
 // collect assembles the Result as of cycle now: it closes each core's CPI
 // attribution at now and snapshots every component's counters. Both the
@@ -683,55 +855,115 @@ func (m *Machine) abort(now int64, err error) (Result, error) {
 // Run drives the machine to completion and returns the results. On abort
 // (ErrInterrupted, ErrMaxCycles, ErrDeadlock) the Result still carries the
 // progress made so far — cycles, per-core CPI stacks, component stats.
+//
+// Run is an event-driven wakeup scheduler, not a cycle stepper: time
+// advances directly to the earliest pending wakeup, and at each visited
+// cycle only the work due there runs. The wakeup sources, their ordering
+// within one cycle, and the determinism invariants are specified in
+// docs/SIMULATION.md; the stepped reference loop it replaced survives as
+// the cross-check oracle in ref_test.go. The visited cycle sequence and
+// every simulation outcome (cycle counts, CPI stacks, component stats,
+// prefetch lifecycle) are identical to the stepped loop's: a core's Step
+// before its reported wakeup is a provable no-op, so skipping it changes
+// nothing but wall-clock time.
 func (m *Machine) Run() (Result, error) {
 	now := int64(0)
+	nCores := len(m.cores)
+	// wake[i] is core i's next due cycle; farFuture while the core is done
+	// or parked at a barrier. All cores are due at cycle 0.
+	wake := make([]int64, nCores)
+	// doneCores/parkedCores count the cores whose wake is farFuture, split
+	// by cause. Transitions happen only inside a core's own Step (or the
+	// barrier release below), so the counters replace the per-iteration
+	// all-core scans of the stepped loop.
+	doneCores, parkedCores := 0, 0
+
+	// Interval-metrics boundary: the first cycle at which an interval
+	// completes and must be flushed. Sleeping cores have not attributed
+	// their stall time yet, so each flush is preceded by an attribution
+	// sweep — that keeps interval rows byte-identical to the stepped
+	// loop's even when one wakeup leaps across several boundaries.
+	interval := m.cfg.Obs.Interval()
+	nextFlush := farFuture
+	if interval > 0 {
+		nextFlush = interval
+	}
+
 	for iter := 0; ; iter++ {
 		if m.cfg.Interrupt != nil && iter&interruptPollMask == 0 && m.cfg.Interrupt() {
 			return m.abort(now, fmt.Errorf("sim: %w at cycle %d", ErrInterrupted, now))
 		}
+		// Prefetch fills due at or before now install before any core runs
+		// at now, so a demand access this cycle sees them.
 		m.processEvents(now)
 		m.now = now
 
 		// Barrier release: if every unfinished core is parked, unpark them
-		// before stepping so they proceed this cycle.
-		if m.allActiveParked() {
-			for _, c := range m.cores {
+		// and make them due this cycle.
+		if parkedCores > 0 && parkedCores+doneCores == nCores {
+			for i, c := range m.cores {
 				if c.AtBarrier() {
 					c.ReleaseBarrier()
+					wake[i] = now
+				}
+			}
+			parkedCores = 0
+		}
+
+		// Step the due cores in core-index order (the tie-break that keeps
+		// shared cache/DRAM state evolution deterministic).
+		for i, c := range m.cores {
+			if wake[i] > now {
+				continue
+			}
+			n := c.Step(now)
+			wake[i] = n
+			if n >= farFuture {
+				// The core left the schedule: it either retired its whole
+				// stream or parked at a barrier.
+				if c.Done() {
+					doneCores++
+				} else {
+					parkedCores++
 				}
 			}
 		}
 
-		next := int64(1) << 62
-		allDone := true
-		for _, c := range m.cores {
-			n := c.Step(now)
-			if !c.Done() {
-				allDone = false
+		if nextFlush <= now {
+			// One or more interval boundaries were crossed: attribute every
+			// core's pending stall span up to now, then flush the completed
+			// intervals.
+			for _, c := range m.cores {
+				c.AttributeUpTo(now)
 			}
-			if n < next {
-				next = n
-			}
+			m.cfg.Obs.Tick(now)
+			nextFlush = (now/interval + 1) * interval
 		}
-		// Every core has attributed its cycles up to now; intervals ending
-		// at or before now are complete and can be flushed.
-		m.cfg.Obs.Tick(now)
-		if allDone {
+		if doneCores == nCores {
 			break
 		}
-		if m.allActiveParked() {
-			// Stepping parked the last active core; release next cycle.
+
+		// Pick the next wakeup: the earliest core wakeup or prefetch fill,
+		// or the next cycle when a barrier release is pending.
+		next := farFuture
+		if parkedCores > 0 && parkedCores+doneCores == nCores {
 			next = now + 1
-		}
-		if len(m.events) > 0 && m.events[0].ready < next {
-			next = m.events[0].ready
-		}
-		if next <= now {
-			next = now + 1
-		}
-		if next >= int64(1)<<62 {
-			// All cores claim no progress is possible but none are done.
-			return m.abort(now, fmt.Errorf("sim: %w at cycle %d", ErrDeadlock, now))
+		} else {
+			for _, w := range wake {
+				if w < next {
+					next = w
+				}
+			}
+			if len(m.events) > 0 && m.events[0].ready < next {
+				next = m.events[0].ready
+			}
+			if next <= now {
+				next = now + 1
+			}
+			if next >= farFuture {
+				// All cores claim no progress is possible but none are done.
+				return m.abort(now, fmt.Errorf("sim: %w at cycle %d", ErrDeadlock, now))
+			}
 		}
 		now = next
 		if now > m.cfg.MaxCycles {

@@ -35,7 +35,11 @@ type TLB struct {
 	assoc   int
 	setMask uint64
 	tick    uint32
-	Stats   Stats
+	// last is the slot of the most recent hit or install: consecutive
+	// accesses to one page (common when streaming through an array) skip
+	// the set scan. Validated by tag compare, so staleness is harmless.
+	last  int
+	Stats Stats
 }
 
 // New builds a TLB.
@@ -59,13 +63,20 @@ func New(cfg Config) *TLB {
 // latency (0 on hit, WalkLat on miss, after which the entry is installed).
 func (t *TLB) Translate(addr uint64) int64 {
 	vpn := addr >> t.cfg.PageBits
-	base := int(vpn&t.setMask) * t.assoc
-	set := t.sets[base : base+t.assoc]
 	t.Stats.Accesses++
 	t.tick++
+	// Same-page fast path: an entry only ever lives in its home set, so a
+	// tag match at the remembered slot is always a genuine hit.
+	if e := &t.sets[t.last]; e.vpn == vpn+1 {
+		e.lru = t.tick
+		return 0
+	}
+	base := int(vpn&t.setMask) * t.assoc
+	set := t.sets[base : base+t.assoc]
 	for i := range set {
 		if set[i].vpn == vpn+1 {
 			set[i].lru = t.tick
+			t.last = base + i
 			return 0
 		}
 	}
@@ -78,6 +89,7 @@ func (t *TLB) Translate(addr uint64) int64 {
 		}
 	}
 	set[victim] = entry{vpn: vpn + 1, lru: t.tick}
+	t.last = base + victim
 	return t.cfg.WalkLat
 }
 

@@ -113,7 +113,20 @@ type Reader struct {
 
 // Next returns the next instruction, or ok=false when the stream is
 // exhausted. It blocks while the generator is producing the next epoch.
+// The in-chunk fast path is kept small enough to inline into the core's
+// dispatch loop; chunk refills go through nextSlow.
 func (r *Reader) Next() (Instr, bool) {
+	if r.pos < len(r.cur) {
+		in := r.cur[r.pos]
+		r.pos++
+		return in, true
+	}
+	return r.nextSlow()
+}
+
+// nextSlow refills the chunk cursor (or reports exhaustion) and returns
+// the next instruction.
+func (r *Reader) nextSlow() (Instr, bool) {
 	for r.pos >= len(r.cur) {
 		if r.done {
 			return Instr{}, false
