@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint fmt test race bench bench-json quick-gate stat-smoke tables trace-demo
+.PHONY: check build vet lint lint-json fmt test race bench bench-json quick-gate stat-smoke tables trace-demo
 
 check: build vet lint race stat-smoke quick-gate
 
@@ -14,10 +14,19 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific static analysis: simulator invariants (determinism,
-# copylock, errcheck) plus the compiler-pass DIG cross-check of every
-# workload kernel. See docs/LINT.md.
+# copylock, errcheck, the hot-path allocation contract) plus the
+# compiler-pass DIG cross-check of every workload kernel, then the
+# compiler-backed //hot:inline and //hot:noescape contract check. See
+# docs/LINT.md.
 lint: fmt
 	$(GO) run ./cmd/prodigy-lint ./...
+	$(GO) run ./cmd/prodigy-lint -escape ./...
+
+# Same diagnostics as `make lint`, machine-readable (one JSON array on
+# stdout) for editor and CI integration.
+lint-json:
+	$(GO) run ./cmd/prodigy-lint -json ./...
+	$(GO) run ./cmd/prodigy-lint -json -escape ./...
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

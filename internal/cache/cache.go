@@ -170,6 +170,7 @@ type bank struct {
 // product spreads line addresses that alias in their low bits.
 const filterFib = 0x9E3779B97F4A7C15
 
+//hot:inline
 func (b *bank) fhash(lineAddr uint64) uint64 {
 	return (lineAddr * filterFib) >> 32 & b.fmask
 }
@@ -210,6 +211,8 @@ func newBank(sizeBytes, assoc, lineSize int, directory bool) *bank {
 
 // findIdx returns the global slot index of lineAddr in b.lines, or -1.
 // This is the hot-path lookup: one scan over the set, no slicing.
+//
+//hot:inline
 func (b *bank) findIdx(lineAddr uint64) int {
 	if b.filter[b.fhash(lineAddr)] == 0 {
 		return -1
@@ -265,6 +268,7 @@ func (b *bank) way(lineAddr uint64, w int) *line {
 	return &b.lines[s+w]
 }
 
+//hot:inline
 func (b *bank) touchIdx(i int) {
 	b.tick++
 	b.lines[i].lru = b.tick
@@ -427,6 +431,8 @@ func New(cfg Config) (*Hierarchy, error) {
 func (h *Hierarchy) Config() Config { return h.cfg }
 
 // LineAddr maps a byte address to its line address.
+//
+//hot:inline
 func (h *Hierarchy) LineAddr(addr uint64) uint64 { return addr >> h.lineShift }
 
 // Result of a demand access.
@@ -448,6 +454,8 @@ type Result struct {
 //
 // This is the simulator's hottest function: every path below runs without
 // heap allocation (BenchmarkHierarchyAccess pins 0 allocs/op).
+//
+//hot:path
 func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
 	la := h.LineAddr(addr)
 	h.Stats.DemandAccesses++
@@ -732,6 +740,8 @@ func (h *Hierarchy) TouchUsed(core int, addr uint64) {
 
 // Probe reports the level at which addr currently resides for core, without
 // updating any state. Prefetchers use it to skip redundant requests.
+//
+//hot:path
 func (h *Hierarchy) Probe(core int, addr uint64) Level {
 	la := h.LineAddr(addr)
 	if h.l1[core].findIdx(la) >= 0 {
@@ -750,6 +760,8 @@ func (h *Hierarchy) Probe(core int, addr uint64) Level {
 // prefetches place data in the L1D per Section IV) and, for inclusion,
 // into L2/L3. fromLevel is where the prefetch was serviced; lines already
 // resident closer than L1 are just refreshed.
+//
+//hot:path
 func (h *Hierarchy) FillPrefetch(core int, addr uint64, fromLevel Level) {
 	h.fillPrefetchAt(core, addr, fromLevel, false)
 }

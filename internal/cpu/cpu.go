@@ -201,6 +201,8 @@ func (c *Core) AttributeUpTo(now int64) {
 // progress (farFuture when done or parked at a barrier). The returned
 // wakeup is exact: stepping the core at any earlier cycle changes no
 // pipeline state, so the engine's scheduler skips the core until then.
+//
+//hot:path
 func (c *Core) Step(now int64) int64 {
 	c.AttributeUpTo(now)
 	if c.done {
@@ -229,8 +231,7 @@ func (c *Core) Step(now int64) int64 {
 	// Dispatch.
 	dispatched := 0
 	for !c.holdBarrier && dispatched < c.cfg.Width && c.count < len(c.rob) && now >= c.fetchStallTil {
-		in, ok := c.reader.Next()
-		if !ok {
+		if !c.reader.Next() {
 			c.streamDone = true
 			if c.count == 0 {
 				c.done = true
@@ -239,6 +240,7 @@ func (c *Core) Step(now int64) int64 {
 			}
 			break
 		}
+		in := c.reader.In
 		if in.Kind == trace.Barrier {
 			// The barrier takes effect once the ROB drains.
 			if c.count == 0 {
@@ -294,6 +296,7 @@ func (c *Core) Step(now int64) int64 {
 	return now + 1
 }
 
+//hot:inline
 func classify(e *robEntry) StallKind {
 	switch e.kind {
 	case trace.Load, trace.Atomic:
@@ -309,6 +312,7 @@ func classify(e *robEntry) StallKind {
 }
 
 func (c *Core) dispatch(now int64, in trace.Instr) {
+	//hot:noescape
 	e := robEntry{kind: in.Kind, ready: now + 1}
 	switch in.Kind {
 	case trace.Int:
@@ -362,6 +366,8 @@ func (c *Core) dispatch(now int64, in trace.Instr) {
 }
 
 // predict consults and updates the 2-bit counter for pc.
+//
+//hot:inline
 func (c *Core) predict(pc uint32, taken bool) bool {
 	ctr := &c.bp[pc&c.bpMask]
 	pred := *ctr >= 2

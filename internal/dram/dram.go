@@ -110,6 +110,8 @@ func (c *Controller) Attach(r *obs.Recorder) {
 
 // advance retires every low-priority slot that has entered service by
 // cycle now. It is monotone and idempotent per cycle.
+//
+//hot:inline
 func (c *Controller) advance(now int64) {
 	for c.lpHead < len(c.lp) && c.lp[c.lpHead] <= now {
 		c.serviceEnd = c.lp[c.lpHead] + c.cfg.ServiceInterval
@@ -123,6 +125,8 @@ func (c *Controller) advance(now int64) {
 
 // book records one service slot starting at start for the stats and the
 // interval metrics.
+//
+//hot:inline
 func (c *Controller) book(start int64) {
 	c.Stats.BusyCycles += uint64(c.cfg.ServiceInterval)
 	c.obs.AddAt(c.busyID, start, uint64(c.cfg.ServiceInterval))
@@ -132,6 +136,8 @@ func (c *Controller) book(start int64) {
 // returns the cycle at which data is available. The demand waits for
 // earlier demands and for the low-priority slot already in service, never
 // for low-priority slots still queued — those are displaced behind it.
+//
+//hot:path
 func (c *Controller) Request(now int64) int64 {
 	c.advance(now)
 	start := now
@@ -168,6 +174,8 @@ func (c *Controller) Request(now int64) int64 {
 
 // RequestPrefetch enqueues a low-priority prefetch read arriving at cycle
 // now; it is served only with bandwidth demands leave over.
+//
+//hot:path
 func (c *Controller) RequestPrefetch(now int64) int64 {
 	c.advance(now)
 	start := c.lowPriorityStart(now)
@@ -181,11 +189,14 @@ func (c *Controller) RequestPrefetch(now int64) int64 {
 
 // lowPriorityStart books the next low-priority slot for an arrival at now
 // and returns its start cycle.
+//
+//hot:inline
 func (c *Controller) lowPriorityStart(now int64) int64 {
 	start := now
 	if c.pfFree > start {
 		start = c.pfFree
 	}
+	//lint:allow hotpath-alloc slot queue reaches steady-state capacity; advance compacts it in place, so growth is amortized across the run
 	c.lp = append(c.lp, start)
 	c.pfFree = start + c.cfg.ServiceInterval
 	return start
@@ -209,6 +220,8 @@ func (c *Controller) Promote(now int64) int64 {
 
 // Write enqueues a writeback arriving at cycle now. Writebacks occupy
 // low-priority bandwidth but nobody waits on them.
+//
+//hot:path
 func (c *Controller) Write(now int64) {
 	c.advance(now)
 	start := c.lowPriorityStart(now)

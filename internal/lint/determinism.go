@@ -31,13 +31,21 @@ var globalRandExempt = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true,
 }
 
+// envFuncs are the os-package functions that read the process
+// environment; control flow depending on them changes simulated behavior
+// without showing up in any recorded configuration.
+var envFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
 // Determinism flags nondeterminism sources that would make simulation
 // results depend on wall-clock time, process-global random state, or map
 // iteration order. Two scopes apply: wall-clock and global-rand checks
 // cover every internal package (experiment metadata stamped with times is
-// fine only when annotated), while the map-range check covers only the
-// sim-critical packages — map iteration in a CLI's report printer cannot
-// perturb simulated cycle counts.
+// fine only when annotated), while the map-range, time.Sleep, and
+// os.Getenv checks cover only the sim-critical packages — map iteration
+// in a CLI's report printer cannot perturb simulated cycle counts, and a
+// CLI reading an env var is ordinary configuration.
 type Determinism struct {
 	// WallClock selects the packages checked for wall-clock and global
 	// math/rand use. Nil means every package under <module>/internal/.
@@ -70,18 +78,19 @@ func (d Determinism) Check(pkg *Package, report func(pos token.Pos, format strin
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch x := n.(type) {
 			case *ast.CallExpr:
-				if !checkClock {
-					return true
-				}
 				path, name, ok := stdPkgName(pkg, x.Fun)
 				if !ok {
 					return true
 				}
 				switch {
-				case path == "time" && wallClockFuncs[name]:
+				case checkClock && path == "time" && wallClockFuncs[name]:
 					report(x.Pos(), "time.%s reads the wall clock; simulation results must not depend on it", name)
-				case path == "math/rand" && !globalRandExempt[name]:
+				case checkClock && path == "math/rand" && !globalRandExempt[name]:
 					report(x.Pos(), "rand.%s uses the process-global generator; use a seeded *rand.Rand", name)
+				case checkMaps && path == "time" && name == "Sleep":
+					report(x.Pos(), "time.Sleep stalls a sim-critical package; simulated delay must come from the scheduler")
+				case checkMaps && path == "os" && envFuncs[name]:
+					report(x.Pos(), "os.%s makes sim-critical behavior depend on the environment; thread configuration explicitly", name)
 				}
 			case *ast.RangeStmt:
 				if !checkMaps {

@@ -1,16 +1,20 @@
 // Package lint is a stdlib-only static-analysis driver enforcing the
 // simulator's invariants: determinism of sim-critical packages, no
 // by-value copies of lock-bearing structs, no silently dropped errors,
-// and — through the compiler frontend — agreement between each workload
-// kernel's hand-written DIG registration and the DIG the paper's compiler
-// pass derives from its loop nests. See docs/LINT.md.
+// allocation-free hot paths (through an interprocedural call graph rooted
+// at //hot:path functions), and — through the compiler frontend —
+// agreement between each workload kernel's hand-written DIG registration
+// and the DIG the paper's compiler pass derives from its loop nests. See
+// docs/LINT.md.
 //
 // Intentional violations are suppressed with an allow directive on the
 // offending line or the line directly above it:
 //
 //	//lint:allow <analyzer>[,<analyzer>] <reason>
 //
-// A directive without a reason is itself a diagnostic.
+// A directive without a reason is itself a diagnostic, and a directive
+// that no longer suppresses anything is reported as unused-allow on
+// whole-tree runs.
 package lint
 
 import (
@@ -41,6 +45,14 @@ type Analyzer interface {
 	Check(pkg *Package, report func(pos token.Pos, format string, args ...any))
 }
 
+// ProgramAnalyzer is an Analyzer that needs a whole-program view (e.g.
+// the hot-path call graph) before per-package checks run. Prepare is
+// called once with the full load set, before any Check.
+type ProgramAnalyzer interface {
+	Analyzer
+	Prepare(pkgs []*Package)
+}
+
 // All returns the full analyzer suite with default scoping.
 func All() []Analyzer {
 	return []Analyzer{
@@ -48,7 +60,18 @@ func All() []Analyzer {
 		CopyLock{},
 		ErrCheck{},
 		DIGCheck{},
+		&HotPathAlloc{},
 	}
+}
+
+// RunConfig configures a lint run.
+type RunConfig struct {
+	Analyzers []Analyzer
+	// ReportUnused enables the unused-allow finding class: directives
+	// that suppressed nothing. Set it only on whole-tree runs — on a
+	// partial load set the call graph is incomplete and suppressions can
+	// look spuriously unused.
+	ReportUnused bool
 }
 
 // Run applies the analyzers to every package and returns the surviving
@@ -56,11 +79,25 @@ func All() []Analyzer {
 // for the reporting analyzer are dropped; malformed directives are
 // reported under the "lint" analyzer.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	return RunAll(pkgs, RunConfig{Analyzers: analyzers})
+}
+
+// RunAll is Run with configuration.
+func RunAll(pkgs []*Package, cfg RunConfig) []Diagnostic {
+	for _, a := range cfg.Analyzers {
+		if pa, ok := a.(ProgramAnalyzer); ok {
+			pa.Prepare(pkgs)
+		}
+	}
+	ran := map[string]bool{}
+	for _, a := range cfg.Analyzers {
+		ran[a.Name()] = true
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		allows, bad := collectAllows(pkg)
 		out = append(out, bad...)
-		for _, a := range analyzers {
+		for _, a := range cfg.Analyzers {
 			name := a.Name()
 			a.Check(pkg, func(pos token.Pos, format string, args ...any) {
 				p := pkg.Fset.Position(pos)
@@ -70,7 +107,16 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 				out = append(out, Diagnostic{Pos: p, Analyzer: name, Message: fmt.Sprintf(format, args...)})
 			})
 		}
+		if cfg.ReportUnused {
+			out = append(out, allows.unused(ran)...)
+		}
 	}
+	sortDiagnostics(out)
+	return out
+}
+
+// sortDiagnostics orders diagnostics by file, line, column.
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -81,27 +127,74 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		}
 		return a.Column < b.Column
 	})
-	return out
 }
 
-// allowIndex records allow directives by file, line, and analyzer name. A
-// directive covers its own line and the line directly below it (for
-// directives written as standalone comments above the offending line).
-type allowIndex map[string]map[int]map[string]bool
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos   token.Position
+	names map[string]bool
+	used  bool
+}
 
-func (ai allowIndex) match(analyzer string, p token.Position) bool {
-	lines := ai[p.Filename]
+// allowIndex records allow directives by file and line. A directive
+// covers its own line and the line directly below it (for directives
+// written as standalone comments above the offending line).
+type allowIndex struct {
+	byLine map[string]map[int][]*allowDirective
+	all    []*allowDirective
+}
+
+func (ai *allowIndex) match(analyzer string, p token.Position) bool {
+	lines := ai.byLine[p.Filename]
 	if lines == nil {
 		return false
 	}
-	return lines[p.Line][analyzer] || lines[p.Line-1][analyzer]
+	matched := false
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range lines[line] {
+			if d.names[analyzer] {
+				d.used = true
+				matched = true
+			}
+		}
+	}
+	return matched
+}
+
+// unused returns the unused-allow diagnostics: directives whose analyzers
+// all ran yet suppressed nothing. The dig-drift directive is exempt — it
+// is consumed out of band by the compiler frontend (frontend.Extract
+// skips kernels with an allowed drift), so it never matches here even
+// when load-bearing.
+func (ai *allowIndex) unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ai.all {
+		if d.used || d.names["dig-drift"] {
+			continue
+		}
+		judgeable := true
+		var names []string
+		for name := range d.names {
+			names = append(names, name)
+			if !ran[name] {
+				judgeable = false
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		sort.Strings(names)
+		out = append(out, Diagnostic{Pos: d.pos, Analyzer: "unused-allow",
+			Message: fmt.Sprintf("allow directive for %q suppresses nothing; remove it", strings.Join(names, ","))})
+	}
+	return out
 }
 
 const allowPrefix = "lint:allow"
 
 // collectAllows scans every comment of the package for allow directives.
-func collectAllows(pkg *Package) (allowIndex, []Diagnostic) {
-	idx := allowIndex{}
+func collectAllows(pkg *Package) (*allowIndex, []Diagnostic) {
+	idx := &allowIndex{byLine: map[string]map[int][]*allowDirective{}}
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -123,19 +216,17 @@ func collectAllows(pkg *Package) (allowIndex, []Diagnostic) {
 					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "lint",
 						Message: fmt.Sprintf("allow directive for %q gives no reason", fields[0])})
 				}
-				lines := idx[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					idx[pos.Filename] = lines
-				}
-				names := lines[pos.Line]
-				if names == nil {
-					names = map[string]bool{}
-					lines[pos.Line] = names
-				}
+				d := &allowDirective{pos: pos, names: map[string]bool{}}
 				for _, name := range strings.Split(fields[0], ",") {
-					names[name] = true
+					d.names[name] = true
 				}
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]*allowDirective{}
+					idx.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+				idx.all = append(idx.all, d)
 			}
 		}
 	}

@@ -52,8 +52,14 @@ func wantMarkers(pkg *Package) map[diagKey]int {
 
 func checkGolden(t *testing.T, pkg *Package, analyzers []Analyzer, want map[diagKey]int) {
 	t.Helper()
+	checkDiags(t, Run([]*Package{pkg}, analyzers), want)
+}
+
+// checkDiags compares a diagnostic list against the want-marker multiset.
+func checkDiags(t *testing.T, diags []Diagnostic, want map[diagKey]int) {
+	t.Helper()
 	got := map[diagKey]int{}
-	for _, d := range Run([]*Package{pkg}, analyzers) {
+	for _, d := range diags {
 		got[diagKey{d.Pos.Line, d.Analyzer}]++
 		if !strings.Contains(d.Pos.Filename, "testdata") {
 			t.Errorf("diagnostic outside fixture: %s", d)
@@ -120,6 +126,67 @@ func TestDIGCheckGolden(t *testing.T) {
 	pkg := loadFixture(t, "digdrift")
 	dc := DIGCheck{Match: func(path string) bool { return strings.HasSuffix(path, "digdrift") }}
 	checkGolden(t, pkg, []Analyzer{dc}, wantMarkers(pkg))
+}
+
+// TestHotPathAllocGolden exercises the call-graph analyzer end to end:
+// roots via function and interface-method directives, static and dynamic
+// edges, the //hot:cold stop, and allow suppression.
+func TestHotPathAllocGolden(t *testing.T) {
+	pkg := loadFixture(t, "hotpath")
+	h := &HotPathAlloc{Scope: func(path string) bool { return strings.HasSuffix(path, "hotpath") }}
+	checkGolden(t, pkg, []Analyzer{h}, wantMarkers(pkg))
+}
+
+// TestEscapeCheckGolden runs the real compiler against the escape
+// fixture's deliberately broken //hot:inline and //hot:noescape
+// contracts (and its deliberately sound ones).
+func TestEscapeCheckGolden(t *testing.T) {
+	cfg, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	pkg := loadFixture(t, "escape")
+	diags, err := EscapeCheck(cfg, []*Package{pkg}, nil)
+	if err != nil {
+		t.Fatalf("EscapeCheck: %v", err)
+	}
+	checkDiags(t, diags, wantMarkers(pkg))
+}
+
+// TestUnusedAllow pins the stale-directive finding: reported only when
+// every analyzer the directive names actually ran, and only when the
+// run opts in.
+func TestUnusedAllow(t *testing.T) {
+	pkg := loadFixture(t, "allowstale")
+	staleLine := 0
+	data, err := os.ReadFile(filepath.Join(pkg.Dir, "allowstale.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, "stale survivor") {
+			staleLine = i + 1
+		}
+	}
+	if staleLine == 0 {
+		t.Fatal("fixture lost its stale directive")
+	}
+
+	diags := RunAll([]*Package{pkg}, RunConfig{Analyzers: []Analyzer{ErrCheck{}}, ReportUnused: true})
+	if len(diags) != 1 || diags[0].Analyzer != "unused-allow" || diags[0].Pos.Line != staleLine {
+		t.Errorf("ReportUnused run = %v, want one unused-allow at line %d", diags, staleLine)
+	}
+
+	// Without the opt-in the stale directive is silent.
+	if diags := Run([]*Package{pkg}, []Analyzer{ErrCheck{}}); len(diags) != 0 {
+		t.Errorf("default run = %v, want none", diags)
+	}
+
+	// If errcheck did not run, its directives cannot be judged stale.
+	diags = RunAll([]*Package{pkg}, RunConfig{Analyzers: []Analyzer{Determinism{}}, ReportUnused: true})
+	if len(diags) != 0 {
+		t.Errorf("partial run = %v, want none", diags)
+	}
 }
 
 // TestDeterminismScope pins the default scoping: wall-clock checks cover

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module and resolves its Config
+// through FindModuleRoot, the same path the CLI takes.
+func writeModule(t *testing.T, files map[string]string) Config {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module example.com/m\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg, err := FindModuleRoot(root)
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	if cfg.Module != "example.com/m" {
+		t.Fatalf("module = %q", cfg.Module)
+	}
+	return cfg
+}
+
+// TestLoadParseError pins that a syntax error surfaces as a positioned
+// diagnostic error, not a panic.
+func TestLoadParseError(t *testing.T) {
+	cfg := writeModule(t, map[string]string{
+		"p/p.go": "package p\n\nfunc broken( {\n",
+	})
+	_, err := Load(cfg, []string{"p"})
+	if err == nil {
+		t.Fatal("Load accepted a syntax error")
+	}
+	if !strings.Contains(err.Error(), "p.go") {
+		t.Errorf("error %q does not name the file", err)
+	}
+}
+
+// TestLoadTypecheckError pins that type errors name the failing package.
+func TestLoadTypecheckError(t *testing.T) {
+	cfg := writeModule(t, map[string]string{
+		"p/p.go": "package p\n\nvar X int = \"not an int\"\n",
+	})
+	_, err := Load(cfg, []string{"p"})
+	if err == nil {
+		t.Fatal("Load accepted a type error")
+	}
+	if !strings.Contains(err.Error(), "typecheck example.com/m/p") {
+		t.Errorf("error %q does not name the package", err)
+	}
+}
+
+// TestLoadBadImportError pins that an import of a package with errors
+// fails cleanly when reached transitively.
+func TestLoadBadImportError(t *testing.T) {
+	cfg := writeModule(t, map[string]string{
+		"q/q.go": "package q\n\nfunc oops( {\n",
+		"p/p.go": "package p\n\nimport \"example.com/m/q\"\n\nvar _ = q.X\n",
+	})
+	_, err := Load(cfg, []string{"p"})
+	if err == nil {
+		t.Fatal("Load accepted a broken transitive import")
+	}
+	if !strings.Contains(err.Error(), "q.go") && !strings.Contains(err.Error(), "typecheck") {
+		t.Errorf("error %q points at neither the bad file nor the importer", err)
+	}
+}
+
+// TestLoadOutsideModule pins the module-boundary guard.
+func TestLoadOutsideModule(t *testing.T) {
+	cfg := writeModule(t, map[string]string{
+		"p/p.go": "package p\n",
+	})
+	_, err := Load(cfg, []string{filepath.Join("..", "elsewhere")})
+	if err == nil || !strings.Contains(err.Error(), "outside module root") {
+		t.Errorf("err = %v, want outside-module-root error", err)
+	}
+}
+
+// TestLoadEmptyDir pins the no-Go-files error for a bare directory.
+func TestLoadEmptyDir(t *testing.T) {
+	cfg := writeModule(t, map[string]string{
+		"p/p.go": "package p\n",
+	})
+	if err := os.MkdirAll(filepath.Join(cfg.Root, "empty"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(cfg, []string{"empty"})
+	if err == nil || !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("err = %v, want no-Go-files error", err)
+	}
+}

@@ -1,0 +1,17 @@
+// Package allowstale is the unused-allow fixture: one directive that
+// suppresses a real finding and one that suppresses nothing.
+package allowstale
+
+import "os"
+
+// Remove deliberately drops the error: the directive is load-bearing.
+func Remove(path string) {
+	//lint:allow errcheck fixture: best-effort cleanup
+	os.Remove(path)
+}
+
+// Stale guards a line that stopped erroring: the directive is unused.
+func Stale() string {
+	//lint:allow errcheck fixture: stale survivor
+	return os.TempDir()
+}

@@ -1,0 +1,39 @@
+// Package escape is the escape-check fixture: one //hot:inline contract
+// the inliner rejects and one //hot:noescape contract the escape
+// analysis refutes, next to contracts that hold. The `// want` markers
+// are consumed by the golden test.
+package escape
+
+// Leak keeps escaping pointers observable.
+var Leak *uint64
+
+// mix is small enough to inline: the contract holds.
+//
+//hot:inline
+func mix(x uint64) uint64 { return x*0x9E3779B97F4A7C15 ^ x>>32 }
+
+// churn refuses inlining (the pragma stands in for a body over budget),
+// so the contract fails.
+//
+//go:noinline
+//hot:inline
+func churn(x uint64) uint64 { // want escape-check
+	return mix(x) * 3
+}
+
+// keep parks a value on the heap: the //hot:noescape contract fails.
+func keep(x uint64) {
+	//hot:noescape
+	v := x // want escape-check
+	Leak = &v
+}
+
+// stay keeps its locals on the stack: the contract holds.
+func stay(x uint64) uint64 {
+	//hot:noescape
+	v := x + 1
+	return v * v
+}
+
+var _ = []func(uint64) uint64{churn, stay}
+var _ = keep

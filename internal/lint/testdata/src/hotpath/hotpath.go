@@ -1,0 +1,90 @@
+// Package hotpath is the hotpath-alloc fixture: a //hot:path root whose
+// call graph reaches allocation sites through static calls, interface
+// dispatch, a stored function value, and a //hot:cold stop. The
+// `// want <analyzer>` markers are consumed by the golden test.
+package hotpath
+
+import "fmt"
+
+// Sink is the hook the hot loop fires; New installs a capturing literal.
+var Sink func(n uint64)
+
+// Stepper is the hot interface: every in-module implementation of Step
+// is rooted through the method directive.
+type Stepper interface {
+	// Step advances one element.
+	//
+	//hot:path
+	Step(n uint64)
+}
+
+// Machine owns the fixture's hot loop.
+type Machine struct {
+	buf   []uint64
+	seen  map[uint64]bool
+	label string
+}
+
+// New is cold setup: nothing in its own body is flagged, but the literal
+// it installs is its own graph node, reachable through Run's dynamic
+// call to Sink.
+func New() *Machine {
+	m := &Machine{seen: map[uint64]bool{}}
+	Sink = func(n uint64) {
+		m.buf = append(m.buf, n) // want hotpath-alloc
+	}
+	return m
+}
+
+// Run is the fixture's root.
+//
+//hot:path
+func (m *Machine) Run(n uint64) {
+	m.record(n)
+	describe(m, n)
+	Sink(n)
+	report(m)
+}
+
+// record allocates one of each direct kind.
+func (m *Machine) record(n uint64) {
+	m.buf = append(m.buf, n) // want hotpath-alloc
+	m.seen[n] = true         // want hotpath-alloc
+	pair := []uint64{n, n}   // want hotpath-alloc
+	box := new(uint64)       // want hotpath-alloc
+	*box = pair[0]
+	//lint:allow hotpath-alloc fixture: a reasoned suppression survives the run
+	grow := make([]uint64, 4)
+	grow[0] = *box
+}
+
+// describe boxes, iterates, and concatenates.
+func describe(m *Machine, n uint64) string {
+	fmt.Sprintln(n) // want hotpath-alloc
+	v := any(n)     // want hotpath-alloc
+	_ = v
+	for k := range m.seen { // want hotpath-alloc
+		n += k
+	}
+	return m.label + "!" // want hotpath-alloc
+}
+
+// report drains for printing; //hot:cold stops traversal, so the fmt
+// call inside is not flagged.
+//
+//hot:cold
+func report(m *Machine) {
+	fmt.Println(len(m.buf))
+}
+
+// Walker implements Stepper; Step is hot through the interface root.
+type Walker struct {
+	hist []uint64
+}
+
+var _ Stepper = (*Walker)(nil)
+
+// Step implements Stepper.
+func (w *Walker) Step(n uint64) {
+	w.hist = append(w.hist, n) // want hotpath-alloc
+}

@@ -5,6 +5,7 @@ package sim
 
 import (
 	"math/rand"
+	"os"
 	"time"
 )
 
@@ -27,6 +28,18 @@ func Jitter() int64 {
 	r := rand.New(rand.NewSource(42))
 	d := time.Since(epoch) //lint:allow determinism fixture: intentionally suppressed
 	return r.Int63() + int64(d)
+}
+
+// Stall makes progress depend on the host instead of the scheduler.
+func Stall() uint64 {
+	time.Sleep(time.Microsecond)     // want determinism
+	if os.Getenv("SIM_FAST") != "" { // want determinism
+		return 0
+	}
+	if _, ok := os.LookupEnv("SIM_SLOW"); ok { // want determinism
+		return 2
+	}
+	return 1
 }
 
 //lint:allow nofix

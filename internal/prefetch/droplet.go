@@ -88,6 +88,7 @@ func (p *dropletPF) OnDemand(now int64, pc uint32, addr uint64, level cache.Leve
 		return
 	}
 	line := uint64(p.env.LineSize)
+	//lint:allow hotpath-alloc keyed by node ID, so the table is bounded by the dataset's node count; after warm-up inserts overwrite existing keys
 	p.lastDemand[n.ID] = addr / line * line
 	p.handleEdgeLine(n, addr)
 }

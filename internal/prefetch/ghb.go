@@ -46,6 +46,7 @@ func (p *ghbPF) OnDemand(now int64, pc uint32, addr uint64, level cache.Level) {
 		return // G/DC trains on misses
 	}
 	la := addr / uint64(p.env.LineSize)
+	//lint:allow hotpath-alloc history is capacity-bounded at HistorySize; the slide below keeps the backing array, so realloc happens only during warm-up
 	p.hist = append(p.hist, la)
 	if len(p.hist) > p.cfg.HistorySize {
 		p.hist = p.hist[1:]

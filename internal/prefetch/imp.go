@@ -137,7 +137,7 @@ func (p *impPF) correlate(missAddr uint64) {
 	}
 	v := e.pendingVal
 	e.hasPending = false
-	for i, shift := range []uint{2, 3} {
+	for i, shift := range [...]uint{2, 3} {
 		base := missAddr - v<<shift
 		if e.candCount[i] > 0 && e.candBase[i] == base {
 			e.candCount[i]++

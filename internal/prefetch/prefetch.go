@@ -91,10 +91,15 @@ type Prefetcher interface {
 	Name() string
 	// OnDemand is called for every demand load/store/atomic the core
 	// sends to the L1D, after the access is resolved; level is where it
-	// was serviced.
+	// was serviced. It runs once per memory instruction, so every
+	// implementation is on the simulator's hot path.
+	//
+	//hot:path
 	OnDemand(now int64, pc uint32, addr uint64, level cache.Level)
 	// OnFill is called when a prefetch issued with meta completes;
 	// level is where the memory system serviced it.
+	//
+	//hot:path
 	OnFill(now int64, addr uint64, meta uint32, level cache.Level)
 }
 

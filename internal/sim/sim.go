@@ -319,6 +319,7 @@ func (h eventHeap) siftDown(i int) {
 
 // push inserts e.
 func (h *eventHeap) push(e *pfEvent) {
+	//lint:allow hotpath-alloc the event heap reaches steady-state capacity (bounded by total MSHRs); growth is amortized across the run
 	*h = append(*h, e)
 	(*h).siftUp(len(*h) - 1)
 }
@@ -369,11 +370,14 @@ func (t *pfTable) init(capacity int) {
 	t.mask = uint64(size - 1)
 }
 
+//hot:inline
 func (t *pfTable) home(key uint64) uint64 {
 	return (key * fibMult) & t.mask
 }
 
 // get returns the event indexed at lineIdx, or nil.
+//
+//hot:inline
 func (t *pfTable) get(lineIdx uint64) *pfEvent {
 	key := lineIdx + 1
 	for i := t.home(key); ; i = (i + 1) & t.mask {
@@ -388,6 +392,8 @@ func (t *pfTable) get(lineIdx uint64) *pfEvent {
 
 // put inserts an event; lineIdx must not already be present (issuePrefetch
 // merges with the existing event before inserting).
+//
+//hot:inline
 func (t *pfTable) put(lineIdx uint64, ev *pfEvent) {
 	key := lineIdx + 1
 	i := t.home(key)
@@ -559,6 +565,8 @@ func NewMachine(cfg Config, space *memspace.Space, gen *trace.Gen) (*Machine, er
 }
 
 // levelLat maps a service level to its cumulative hit latency.
+//
+//hot:inline
 func (m *Machine) levelLat(lvl cache.Level) int64 {
 	switch lvl {
 	case cache.LvlL1:
@@ -653,6 +661,8 @@ const lvlUnprobed = cache.Level(0xFF)
 // issuePrefetch enqueues a prefetch for core. Requests to resident or
 // already-in-flight lines are merged. It returns false only when the
 // request was dropped at the MSHR cap (no fill will arrive).
+//
+//hot:inline
 func (m *Machine) issuePrefetch(core int, addr uint64, meta uint32) bool {
 	return m.issuePrefetchAt(core, addr, meta, lvlUnprobed)
 }
@@ -669,6 +679,7 @@ func (m *Machine) issuePrefetchAt(core int, addr uint64, meta uint32, probed cac
 			// Duplicate metas would deliver duplicate OnFill callbacks for
 			// one physical fill, letting fill-cascading prefetchers
 			// multiply their own triggers combinatorially.
+			//lint:allow hotpath-alloc metas keeps its backing array across pool recycling (processEvents truncates to len 0), so append reallocates only during warm-up
 			ev.metas = append(ev.metas, meta)
 		}
 		m.stats.PrefetchMergedResident++
@@ -713,9 +724,11 @@ func (m *Machine) issuePrefetchAt(core int, addr uint64, meta uint32, probed cac
 		m.pfFree = m.pfFree[:n-1]
 		ev.ready, ev.core, ev.lineAddr, ev.level = ready, core, lineAddr, level
 	} else {
+		//lint:allow hotpath-alloc pool refill: one allocation per steady-state MSHR slot, recycled through pfFree for the rest of the run
 		ev = &pfEvent{ready: ready, core: core, lineAddr: lineAddr, level: level}
 	}
 	if meta != prefetch.UntrackedMeta {
+		//lint:allow hotpath-alloc metas keeps its backing array across pool recycling, so append reallocates only during warm-up
 		ev.metas = append(ev.metas, meta)
 	}
 	ev.issuedAt = m.now
@@ -733,6 +746,7 @@ func (m *Machine) issuePrefetchAt(core int, addr uint64, meta uint32, probed cac
 	return true
 }
 
+//hot:inline
 func containsMeta(metas []uint32, m uint32) bool {
 	for _, x := range metas {
 		if x == m {
@@ -764,6 +778,7 @@ func (m *Machine) processEvents(now int64) {
 			m.cfg.Obs.FlowEnd(ev.core, ev.flowID, "prefetch", "pf")
 		}
 		if m.cfg.LedgerHook != nil {
+			//hot:noescape
 			m.cfg.LedgerHook(PFLineEvent{Core: ev.core, LineAddr: ev.lineAddr,
 				IssuedAt: ev.issuedAt, FilledAt: now, Level: ev.level,
 				DemandMerged: ev.demandMerged})
@@ -777,6 +792,7 @@ func (m *Machine) processEvents(now int64) {
 		ev.metas = ev.metas[:0]
 		ev.demandMerged = false
 		ev.flowID = 0
+		//lint:allow hotpath-alloc pool return; the free list's capacity is bounded by the steady-state event population
 		m.pfFree = append(m.pfFree, ev)
 	}
 }
@@ -796,6 +812,8 @@ const farFuture = int64(1) << 62
 // attribution at now and snapshots every component's counters. Both the
 // clean-completion and abort paths use it, so an aborted run still reports
 // cycles-so-far and per-core retired counts instead of an empty Result.
+//
+//hot:cold
 func (m *Machine) collect(now int64) Result {
 	res := Result{Cycles: now, Prefetchers: m.pfs}
 	var tlbMiss float64
@@ -844,6 +862,8 @@ func (m *Machine) collect(now int64) Result {
 
 // abort closes out an aborted run: partial results up to now, plus the
 // wrapped sentinel so callers can classify the cause with errors.Is.
+//
+//hot:cold
 func (m *Machine) abort(now int64, err error) (Result, error) {
 	// Collect first: FinishAt attributes each core's stall tail, which the
 	// recorder's final intervals must still see.
@@ -866,11 +886,14 @@ func (m *Machine) abort(now int64, err error) (Result, error) {
 // prefetch lifecycle) are identical to the stepped loop's: a core's Step
 // before its reported wakeup is a provable no-op, so skipping it changes
 // nothing but wall-clock time.
+//
+//hot:path
 func (m *Machine) Run() (Result, error) {
 	now := int64(0)
 	nCores := len(m.cores)
 	// wake[i] is core i's next due cycle; farFuture while the core is done
 	// or parked at a barrier. All cores are due at cycle 0.
+	//lint:allow hotpath-alloc per-run setup: one slice per Run call, not per cycle
 	wake := make([]int64, nCores)
 	// doneCores/parkedCores count the cores whose wake is farFuture, split
 	// by cause. Transitions happen only inside a core's own Step (or the
@@ -891,6 +914,7 @@ func (m *Machine) Run() (Result, error) {
 
 	for iter := 0; ; iter++ {
 		if m.cfg.Interrupt != nil && iter&interruptPollMask == 0 && m.cfg.Interrupt() {
+			//lint:allow hotpath-alloc abort path: runs at most once per run
 			return m.abort(now, fmt.Errorf("sim: %w at cycle %d", ErrInterrupted, now))
 		}
 		// Prefetch fills due at or before now install before any core runs
@@ -962,11 +986,13 @@ func (m *Machine) Run() (Result, error) {
 			}
 			if next >= farFuture {
 				// All cores claim no progress is possible but none are done.
+				//lint:allow hotpath-alloc abort path: runs at most once per run
 				return m.abort(now, fmt.Errorf("sim: %w at cycle %d", ErrDeadlock, now))
 			}
 		}
 		now = next
 		if now > m.cfg.MaxCycles {
+			//lint:allow hotpath-alloc abort path: runs at most once per run
 			return m.abort(now, fmt.Errorf("sim: %w (limit %d)", ErrMaxCycles, m.cfg.MaxCycles))
 		}
 	}
@@ -976,6 +1002,7 @@ func (m *Machine) Run() (Result, error) {
 	// and close the trace. Export failures (e.g. a full disk) surface as
 	// run errors — silently truncated metrics would be worse.
 	if ferr := m.cfg.Obs.Finish(now); ferr != nil {
+		//lint:allow hotpath-alloc teardown path: runs at most once per run
 		return res, fmt.Errorf("sim: observability export: %w", ferr)
 	}
 	return res, nil

@@ -61,6 +61,8 @@ func New(cfg Config) *TLB {
 
 // Translate looks up the page containing addr and returns the added
 // latency (0 on hit, WalkLat on miss, after which the entry is installed).
+//
+//hot:path
 func (t *TLB) Translate(addr uint64) int64 {
 	vpn := addr >> t.cfg.PageBits
 	t.Stats.Accesses++
@@ -88,6 +90,7 @@ func (t *TLB) Translate(addr uint64) int64 {
 			victim = i
 		}
 	}
+	//hot:noescape
 	set[victim] = entry{vpn: vpn + 1, lru: t.tick}
 	t.last = base + victim
 	return t.cfg.WalkLat

@@ -61,17 +61,13 @@ func TestConcurrentProducerConsumer(t *testing.T) {
 	r := g.Reader(0)
 	var loads, barriers int
 	prev := int64(-1)
-	for {
-		in, ok := r.Next()
-		if !ok {
-			break
-		}
-		switch in.Kind {
+	for r.Next() {
+		switch r.In.Kind {
 		case Load:
-			if int64(in.Addr) != prev+1 {
-				t.Fatalf("out of order: got %d after %d", in.Addr, prev)
+			if int64(r.In.Addr) != prev+1 {
+				t.Fatalf("out of order: got %d after %d", r.In.Addr, prev)
 			}
-			prev = int64(in.Addr)
+			prev = int64(r.In.Addr)
 			loads++
 		case Barrier:
 			barriers++
@@ -108,13 +104,9 @@ func TestStrictAlternation(t *testing.T) {
 	})
 	r := g.Reader(0)
 	count, barriers := 0, 0
-	for {
-		in, ok := r.Next()
-		if !ok {
-			break
-		}
+	for r.Next() {
 		count++
-		if in.Kind == Barrier {
+		if r.In.Kind == Barrier {
 			barriers++
 			if epoch != barriers-1 {
 				t.Fatalf("at barrier %d producer had finished epoch %d, want %d",
@@ -158,10 +150,7 @@ func TestAbortUnblocksProducer(t *testing.T) {
 	}
 	// Draining the leftover chunk terminates instead of hanging: the
 	// aborted streams are closed and publish nothing further.
-	for {
-		if _, ok := r.Next(); !ok {
-			break
-		}
+	for r.Next() {
 	}
 }
 
@@ -173,10 +162,7 @@ func TestProducerPanicBecomesError(t *testing.T) {
 		panic("kernel bug")
 	})
 	r := g.Reader(0)
-	for {
-		if _, ok := r.Next(); !ok {
-			break
-		}
+	for r.Next() {
 	}
 	err := wait()
 	if err == nil || !strings.Contains(err.Error(), "kernel bug") {
@@ -189,11 +175,11 @@ func TestReaderExhaustedStaysExhausted(t *testing.T) {
 	g.Load(0, 1, 1)
 	g.Close()
 	r := g.Reader(0)
-	if _, ok := r.Next(); !ok {
+	if !r.Next() {
 		t.Fatal("expected one instruction")
 	}
 	for i := 0; i < 3; i++ {
-		if _, ok := r.Next(); ok {
+		if r.Next() {
 			t.Fatal("reader should stay exhausted")
 		}
 	}
