@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-json fmt test race bench bench-json quick-gate stat-smoke tables trace-demo
+.PHONY: check build vet lint lint-json fmt test race bench bench-json quick-gate stat-smoke memlat-smoke tables trace-demo
 
-check: build vet lint race stat-smoke quick-gate
+check: build vet lint race stat-smoke memlat-smoke quick-gate
 
 build:
 	$(GO) build ./...
@@ -46,19 +46,20 @@ bench:
 
 # Hot-path performance gate: run the microbenchmarks, a wall-clock timing
 # of `prodigy-bench -quick`, and the quick prefetch-quality sweep; write
-# BENCH_6.json and fail if allocs/op on the gated benchmarks or Prodigy's
-# accuracy/coverage regress below the committed baseline
-# (docs/ARCHITECTURE.md §Performance).
+# BENCH_7.json and fail if allocs/op on the gated benchmarks (including
+# the memlat histogram record path) or Prodigy's accuracy/coverage
+# regress below the committed baseline (docs/ARCHITECTURE.md
+# §Performance).
 bench-json:
-	$(GO) run ./cmd/bench-json -out BENCH_6.json
+	$(GO) run ./cmd/bench-json -out BENCH_7.json
 
 # Wall-clock regression gate (part of `make check`): time
 # `prodigy-bench -quick` (best of 5, to squeeze out scheduler noise) and
-# fail if it lands more than 10% above the committed BENCH_6.json
+# fail if it lands more than 10% above the committed BENCH_7.json
 # baseline. Catches simulator throughput regressions without rerunning
 # the full bench-json suite.
 quick-gate:
-	$(GO) run ./cmd/bench-json -quick-gate -quick-runs 5 -out BENCH_6.json
+	$(GO) run ./cmd/bench-json -quick-gate -quick-runs 5 -out BENCH_7.json
 
 # Smoke test for the prodigy-stat regression gate: a plain diff of the
 # committed fixtures must pass, and a tight -fail-on threshold must fail
@@ -72,6 +73,16 @@ stat-smoke:
 	else \
 		echo "stat-smoke: ok (plain diff passes, threshold gate bites)"; \
 	fi
+
+# Latency-calibration smoke (part of `make check`): run the memlat
+# pointer-chase sweep on the Table-I machine and assert every plateau —
+# L1/L2/L3 hit latencies, L3+DRAM, and TLB walk+L1 — lands exactly on
+# the configured latency (EXPERIMENTS.md §Latency calibration).
+memlat-smoke:
+	@$(GO) run ./cmd/prodigy-sim -memlat -memlat-out memlat-smoke.jsonl > /dev/null
+	@$(GO) run ./cmd/prodigy-stat hist -assert memlat-smoke.jsonl > /dev/null
+	@rm -f memlat-smoke.jsonl
+	@echo "memlat-smoke: ok (all plateaus on the configured latencies)"
 
 # Regenerate every paper table/figure at paper scale (slow).
 tables:

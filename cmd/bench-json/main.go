@@ -6,8 +6,9 @@
 // §Performance).
 //
 // When the output file already exists it doubles as the baseline: the
-// run fails (exit 1) if allocs/op on BenchmarkHierarchyAccess or
-// BenchmarkFillPrefetch regresses above the committed value, or if the
+// run fails (exit 1) if allocs/op on BenchmarkHierarchyAccess,
+// BenchmarkFillPrefetch, or BenchmarkHistogramRecord (the memlat
+// latency-recording path) regresses above the committed value, or if the
 // quick sweep's Prodigy accuracy or coverage drops below the committed
 // baseline (beyond a small tolerance), so the hot path stays
 // allocation-free and the prefetcher stays effective by construction.
@@ -75,8 +76,10 @@ type Doc struct {
 
 // gated lists the benchmarks whose allocs/op may never grow past the
 // committed baseline: the demand hot path and the prefetch-fill path,
-// both carrying the always-on lifecycle telemetry.
-var gated = []string{"BenchmarkHierarchyAccess", "BenchmarkFillPrefetch"}
+// both carrying the always-on lifecycle telemetry, plus the latency-
+// histogram record path that sits behind sim.Config.LatencyHook during
+// memlat calibration runs.
+var gated = []string{"BenchmarkHierarchyAccess", "BenchmarkFillPrefetch", "BenchmarkHistogramRecord"}
 
 // qualityCells is the quick sweep measured for the quality gate.
 var qualityCells = []struct {
@@ -98,10 +101,11 @@ var suites = []struct{ pkg, pattern string }{
 	{"./internal/cache", "BenchmarkHierarchyAccess|BenchmarkFillPrefetch"},
 	{"./internal/sim", "BenchmarkPrefetchIssueProcess"},
 	{"./internal/dram", "BenchmarkControllerRequest"},
+	{"./internal/stats", "BenchmarkHistogramRecord"},
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output (and baseline) JSON file")
+	out := flag.String("out", "BENCH_7.json", "output (and baseline) JSON file")
 	quickRuns := flag.Int("quick-runs", 3, "prodigy-bench -quick repetitions (best is kept); 0 skips")
 	quickGate := flag.Bool("quick-gate", false,
 		"only time prodigy-bench -quick and fail if >10% slower than the committed baseline")

@@ -51,7 +51,13 @@ func main() {
 		"cache.pf_timely, cache.pf_evicted_unused, sim.pf_issued, sim.pf_redundant, sim.pf_mshr_full, sim.late_merge")
 	interval := flag.Int64("interval", obs.DefaultInterval, "metrics sampling interval in simulated cycles")
 	ledgerPath := flag.String("pf-ledger", "", "write the per-line prefetch lifecycle ledger (JSONL) to this file")
+	memlat := flag.Bool("memlat", false, "run the pointer-chase latency-calibration sweep instead of a workload grid (EXPERIMENTS.md)")
+	memlatOut := flag.String("memlat-out", "", "write the memlat per-access latency histograms (JSONL, prodigy-stat hist) to this file")
 	flag.Parse()
+
+	if *memlat {
+		os.Exit(runMemlat(*memlatOut))
+	}
 
 	cfg := exp.Default()
 	cfg.Cores = *cores
@@ -122,6 +128,67 @@ func main() {
 		}
 		report(run, cfg)
 	}
+}
+
+// runMemlat runs the latency-calibration sweep on the Table-I machine
+// (sim.Default(1)): one serialized pointer chase per hierarchy level
+// plus the TLB-thrash variant, each recording a per-access latency
+// histogram. The histograms go to -memlat-out as JSONL for
+// `prodigy-stat hist -assert`; the summary table prints either way.
+func runMemlat(outPath string) int {
+	base := sim.Default(1)
+	results, err := exp.MemlatSweep(base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memlat:", err)
+		return 1
+	}
+	rows := make([]obs.HistRow, len(results))
+	for i, r := range results {
+		rows[i] = r.Row
+	}
+	if outPath != "" {
+		var w *bufio.Writer
+		if outPath == "-" {
+			w = bufio.NewWriter(os.Stdout)
+		} else {
+			f, err := os.Create(outPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memlat:", err)
+				return 1
+			}
+			defer func() {
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "closing memlat output:", err)
+				}
+			}()
+			w = bufio.NewWriter(f)
+		}
+		if err := obs.WriteHistRows(w, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "memlat:", err)
+			return 1
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "memlat:", err)
+			return 1
+		}
+	}
+	t := stats.NewTable("Latency calibration (modal cycles per access)",
+		"point", "pattern", "working set", "accesses", "mode", "expect", "ok")
+	ok := true
+	for _, r := range results {
+		match := "yes"
+		if r.Row.Mode != r.Row.Expect {
+			match, ok = "NO", false
+		}
+		t.AddRow(r.Point.Name, r.Point.Cfg.Pattern, r.Point.Cfg.WorkingSet,
+			r.Hist.Total(), r.Row.Mode, r.Row.Expect, match)
+	}
+	fmt.Println(t)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "memlat: calibration failed: a plateau is off the configured latency")
+		return 1
+	}
+	return 0
 }
 
 // openLedger builds a JSONL sink for the per-line prefetch ledger: one

@@ -28,6 +28,8 @@ func run(stdout, stderr io.Writer, args []string) int {
 		return runShow(stdout, stderr, args[1:])
 	case "diff":
 		return runDiff(stdout, stderr, args[1:])
+	case "hist":
+		return runHist(stdout, stderr, args[1:])
 	case "-h", "-help", "--help", "help":
 		usage(stdout)
 		return 0
@@ -52,16 +54,21 @@ func usage(w io.Writer) {
       percentage deltas. -fail-on "accuracy=5,ipc=2" exits 1 when any
       named metric regresses by more than the given percent. Metrics:
       ipc, cycles, wall, accuracy, coverage, timeliness.
+  prodigy-stat hist [-assert] <hist.jsonl>
+      Render per-access latency histograms (the memlat calibration
+      sweep, prodigy-sim -memlat) as plateau bar charts. -assert exits
+      1 when any point's modal latency differs from the latency the
+      machine config predicts.
 `)
 }
 
-// loadFile splits a JSONL file into runner summaries and metrics rows,
-// detecting each line's kind by its keys ("label" → RunSummary,
-// "interval" → MetricsRow).
-func loadFile(path string) (runs []exp.RunSummary, rows []obs.MetricsRow, err error) {
+// loadFile splits a JSONL file into runner summaries, metrics rows, and
+// latency histograms, detecting each line's kind by its keys ("label" →
+// RunSummary, "interval" → MetricsRow, "hist" → HistRow).
+func loadFile(path string) (runs []exp.RunSummary, rows []obs.MetricsRow, hists []obs.HistRow, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer func() { _ = f.Close() }() // read-only; Close error carries no data-loss signal
 	sc := bufio.NewScanner(f)
@@ -75,29 +82,35 @@ func loadFile(path string) (runs []exp.RunSummary, rows []obs.MetricsRow, err er
 		}
 		var probe map[string]json.RawMessage
 		if err := json.Unmarshal([]byte(line), &probe); err != nil {
-			return nil, nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+			return nil, nil, nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
 		}
 		switch {
 		case probe["label"] != nil:
 			var s exp.RunSummary
 			if err := json.Unmarshal([]byte(line), &s); err != nil {
-				return nil, nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+				return nil, nil, nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
 			}
 			runs = append(runs, s)
 		case probe["interval"] != nil:
 			var r obs.MetricsRow
 			if err := json.Unmarshal([]byte(line), &r); err != nil {
-				return nil, nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+				return nil, nil, nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
 			}
 			rows = append(rows, r)
+		case probe["hist"] != nil:
+			var h obs.HistRow
+			if err := json.Unmarshal([]byte(line), &h); err != nil {
+				return nil, nil, nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+			}
+			hists = append(hists, h)
 		default:
-			return nil, nil, fmt.Errorf("%s:%d: unrecognized record (no label or interval key)", path, lineNo)
+			return nil, nil, nil, fmt.Errorf("%s:%d: unrecognized record (no label, interval, or hist key)", path, lineNo)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return runs, rows, nil
+	return runs, rows, hists, nil
 }
 
 func runShow(stdout, stderr io.Writer, args []string) int {
@@ -107,7 +120,7 @@ func runShow(stdout, stderr io.Writer, args []string) int {
 		fmt.Fprintln(stderr, "usage: prodigy-stat show <file.jsonl>")
 		return 2
 	}
-	runs, rows, err := loadFile(fs.Arg(0))
+	runs, rows, hists, err := loadFile(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(stderr, "prodigy-stat:", err)
 		return 2
@@ -118,7 +131,10 @@ func runShow(stdout, stderr io.Writer, args []string) int {
 	if len(rows) > 0 {
 		showMetrics(stdout, rows)
 	}
-	if len(runs) == 0 && len(rows) == 0 {
+	if len(hists) > 0 {
+		showHists(stdout, hists)
+	}
+	if len(runs) == 0 && len(rows) == 0 && len(hists) == 0 {
 		fmt.Fprintln(stderr, "prodigy-stat: no records in", fs.Arg(0))
 		return 2
 	}
@@ -200,6 +216,81 @@ func showMetrics(w io.Writer, rows []obs.MetricsRow) {
 		t.AddRow(n, totals[n])
 	}
 	fmt.Fprintln(w, t)
+}
+
+// histBarWidth is the widest plateau bar showHists draws.
+const histBarWidth = 40
+
+// showHists renders each latency histogram as a bar chart: one line per
+// non-empty bucket, scaled to the modal count, with the config-predicted
+// plateau marked. The chart makes an off-by-N plateau visible at a
+// glance — the bar sits one row away from the "expect" marker.
+func showHists(w io.Writer, hists []obs.HistRow) {
+	for _, h := range hists {
+		fmt.Fprintf(w, "%s  target=%s pattern=%s ws=%dB\n", h.Hist, h.Target, h.Pattern, h.WorkingSet)
+		fmt.Fprintf(w, "  total=%d mode=%d expect=%d mean=%.1f p50=%d p95=%d p99=%d max=%d\n",
+			h.Total, h.Mode, h.Expect, h.Mean, h.P50, h.P95, h.P99, h.Max)
+		var peak uint64
+		for _, b := range h.Buckets {
+			if b.Count > peak {
+				peak = b.Count
+			}
+		}
+		for _, b := range h.Buckets {
+			label := fmt.Sprintf("%d", b.Lo)
+			if b.Hi != b.Lo {
+				label = fmt.Sprintf("%d-%d", b.Lo, b.Hi)
+			}
+			n := int(b.Count * histBarWidth / peak)
+			if n == 0 {
+				n = 1
+			}
+			mark := ""
+			if b.Lo <= h.Expect && h.Expect <= b.Hi {
+				mark = "  <- expect"
+			}
+			fmt.Fprintf(w, "  %10s |%-*s %d%s\n", label, histBarWidth, strings.Repeat("#", n), b.Count, mark)
+		}
+	}
+}
+
+// runHist renders latency histograms; with -assert it exits 1 when any
+// point's modal latency misses its predicted plateau (the memlat-smoke
+// CI gate).
+func runHist(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("hist", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	assert := fs.Bool("assert", false, "exit 1 if any modal latency differs from its predicted plateau")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: prodigy-stat hist [-assert] <hist.jsonl>")
+		return 2
+	}
+	_, _, hists, err := loadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "prodigy-stat:", err)
+		return 2
+	}
+	if len(hists) == 0 {
+		fmt.Fprintln(stderr, "prodigy-stat: no histogram records in", fs.Arg(0))
+		return 2
+	}
+	showHists(stdout, hists)
+	var failures []string
+	for _, h := range hists {
+		if h.Mode != h.Expect {
+			failures = append(failures, fmt.Sprintf(
+				"%s: modal latency %d cycles, config predicts %d", h.Hist, h.Mode, h.Expect))
+		}
+	}
+	fmt.Fprintf(stdout, "%d/%d plateaus match the configured latencies\n",
+		len(hists)-len(failures), len(hists))
+	if *assert && len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(stderr, "FAIL:", f)
+		}
+		return 1
+	}
+	return 0
 }
 
 // metric extracts one named comparison metric from a summary; ok is false
@@ -318,12 +409,12 @@ func runDiff(stdout, stderr io.Writer, args []string) int {
 		fmt.Fprintln(stderr, "prodigy-stat:", err)
 		return 2
 	}
-	baseRuns, _, err := loadFile(fs.Arg(0))
+	baseRuns, _, _, err := loadFile(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(stderr, "prodigy-stat:", err)
 		return 2
 	}
-	newRuns, _, err := loadFile(fs.Arg(1))
+	newRuns, _, _, err := loadFile(fs.Arg(1))
 	if err != nil {
 		fmt.Fprintln(stderr, "prodigy-stat:", err)
 		return 2

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -134,5 +135,53 @@ func TestParseFailOn(t *testing.T) {
 	}
 	if specs, err := parseFailOn(""); err != nil || specs != nil {
 		t.Errorf("empty spec: %+v, %v", specs, err)
+	}
+}
+
+func writeHistFixture(t *testing.T, mode int64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	lines := `{"hist":"memlat-chase-4K","pattern":"chase","working_set":4096,"target":"L1","expect":2,"mode":2,"total":512,"mean":20.5,"max":170,"p50":2,"p95":150,"p99":150,"buckets":[{"lo":2,"hi":2,"count":448},{"lo":150,"hi":150,"count":63},{"lo":170,"hi":170,"count":1}]}
+{"hist":"memlat-chase-192K","pattern":"chase","working_set":196608,"target":"MEM","expect":150,"mode":` +
+		fmt.Sprint(mode) + `,"total":24576,"mean":150,"max":170,"p50":150,"p95":150,"p99":150,"buckets":[{"lo":150,"hi":150,"count":24528},{"lo":170,"hi":170,"count":48}]}
+`
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestHistRendersPlateaus(t *testing.T) {
+	code, out, errs := runCLI(t, "hist", writeHistFixture(t, 150))
+	if code != 0 {
+		t.Fatalf("hist exit %d, stderr %q", code, errs)
+	}
+	for _, want := range []string{"memlat-chase-4K", "target=L1", "<- expect", "2/2 plateaus match"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hist output missing %q:\n%s", want, out)
+		}
+	}
+	// show auto-detects hist rows too.
+	code, out, _ = runCLI(t, "show", writeHistFixture(t, 150))
+	if code != 0 || !strings.Contains(out, "memlat-chase-192K") {
+		t.Fatalf("show on hist rows failed: code %d\n%s", code, out)
+	}
+}
+
+func TestHistAssertBites(t *testing.T) {
+	path := writeHistFixture(t, 152) // MEM plateau off by 2 cycles
+	code, out, _ := runCLI(t, "hist", path)
+	if code != 0 {
+		t.Fatalf("without -assert a mismatch must still exit 0, got %d", code)
+	}
+	if !strings.Contains(out, "1/2 plateaus match") {
+		t.Errorf("mismatch not reported:\n%s", out)
+	}
+	code, _, errs := runCLI(t, "hist", "-assert", path)
+	if code != 1 {
+		t.Fatalf("-assert exit %d, want 1", code)
+	}
+	if !strings.Contains(errs, "memlat-chase-192K") || !strings.Contains(errs, "152") {
+		t.Errorf("failure detail missing:\n%s", errs)
 	}
 }

@@ -37,8 +37,8 @@ func extractAll(t *testing.T) map[string]*Kernel {
 // hand-written dig.Builder calls on edges and triggers.
 func TestExtractionMatchesRegistration(t *testing.T) {
 	byAlgo := extractAll(t)
-	if len(byAlgo) != 9 {
-		t.Fatalf("extracted %d kernels, want 9", len(byAlgo))
+	if len(byAlgo) != 10 {
+		t.Fatalf("extracted %d kernels, want 10", len(byAlgo))
 	}
 	for _, algo := range driftFree {
 		k := byAlgo[algo]
@@ -110,6 +110,40 @@ func TestBCDriftIsTheDocumentedRefinement(t *testing.T) {
 	}
 }
 
+// TestMemlatDriftIsTheDocumentedGap pins memlat's intentional drift in
+// the opposite direction from bc's: its hand registration carries a self
+// trav edge and trigger that the compiler cannot derive, because the
+// run closure is an address-valued pointer chase, not a ranged loop
+// nest. The allow directive must be present, and the drift must be
+// exactly those two underivable registrations — nothing extracted goes
+// unregistered.
+func TestMemlatDriftIsTheDocumentedGap(t *testing.T) {
+	k := extractAll(t)["buildmemlat"]
+	if k == nil {
+		t.Fatal("memlat not extracted")
+	}
+	if !k.AllowedDrift {
+		t.Error("memlat: missing //lint:allow dig-drift directive on BuildMemlat")
+	}
+	if k.AllowReason == "" {
+		t.Error("memlat: dig-drift directive has no reason")
+	}
+	if len(k.Extracted.Edges) != 0 || len(k.Extracted.Triggers) != 0 {
+		t.Errorf("memlat: compiler unexpectedly derived edges %v triggers %v from a pointer chase",
+			k.Extracted.Edges, k.Extracted.Triggers)
+	}
+	if got := len(k.Registered.Edges); got != 1 {
+		t.Errorf("memlat: %d registered edges, want the 1 self edge", got)
+	}
+	drifts := k.Drift()
+	if len(drifts) != 2 {
+		for _, d := range drifts {
+			t.Logf("drift: %s", d.Msg)
+		}
+		t.Fatalf("memlat: %d drift diagnostics, want 2 (self edge + trigger)", len(drifts))
+	}
+}
+
 // TestDeriveDIGMatchesRuntime builds each drift-free workload for real,
 // lifts its kernel over the actual memspace layout, and checks that the
 // DIG the compiler path produces is identical (dig.Equal: nodes with
@@ -156,6 +190,9 @@ func TestKernelInventory(t *testing.T) {
 		"symgs": {"buildSymGS", 5},
 		"cg":    {"buildCG", 7},
 		"is":    {"buildIS", 3},
+		// memlat's Workload Name is computed (fmt.Sprintf), so the algo
+		// falls back to the lowercased build-function name.
+		"buildmemlat": {"BuildMemlat", 1},
 	}
 	var got []string
 	for algo := range byAlgo {

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"testing"
+
+	"prodigy/internal/sim"
+)
+
+// TestMemlatCalibration is the Table-I timing contract: for every
+// calibration point, the modal per-access latency of the warm chase
+// must equal the configured cumulative latency of the level it targets
+// — L1/L2/L3 hit latencies, L3 + DRAM access for the past-L3 point, and
+// TLB walk + L1 hit for the page-thrash point. A miss here is a real
+// memory-model bug (the PR 4 writeback and merged-store bugs would both
+// have moved these plateaus).
+func TestMemlatCalibration(t *testing.T) {
+	base := sim.Default(1)
+	results, err := MemlatSweep(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("%d calibration points, want 5", len(results))
+	}
+	wantExpect := map[string]int64{
+		"L1":  int64(base.Cache.L1Lat),
+		"L2":  int64(base.Cache.L2Lat),
+		"L3":  int64(base.Cache.L3Lat),
+		"MEM": int64(base.Cache.L3Lat) + base.DRAM.AccessLat,
+		"TLB": base.TLB.WalkLat + int64(base.Cache.L1Lat),
+	}
+	for _, r := range results {
+		want, ok := wantExpect[r.Point.Name]
+		if !ok {
+			t.Fatalf("unexpected point %q", r.Point.Name)
+		}
+		if r.Point.Expect != want {
+			t.Errorf("%s: derived Expect = %d, want %d from the config", r.Point.Name, r.Point.Expect, want)
+		}
+		if got := r.Hist.Mode(); got != want {
+			t.Errorf("%s (%s, %d bytes): modal latency = %d cycles, want %d",
+				r.Point.Name, r.Point.Cfg.Pattern, r.Point.Cfg.WorkingSet, got, want)
+		}
+		if r.Row.Mode != r.Hist.Mode() || r.Row.Expect != r.Point.Expect {
+			t.Errorf("%s: JSONL row (mode %d, expect %d) disagrees with histogram (%d, %d)",
+				r.Point.Name, r.Row.Mode, r.Row.Expect, r.Hist.Mode(), r.Point.Expect)
+		}
+		// The plateau must dominate, not just win a plurality: at least
+		// half of all accesses (cold round included) sit exactly on it.
+		bucket := uint64(0)
+		for _, b := range r.Row.Buckets {
+			if b.Lo <= want && want <= b.Hi {
+				bucket = b.Count
+			}
+		}
+		if 2*bucket < r.Hist.Total() {
+			t.Errorf("%s: only %d of %d accesses on the %d-cycle plateau",
+				r.Point.Name, bucket, r.Hist.Total(), want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"prodigy/internal/stats"
+)
+
+// HistRow is the JSONL schema of one per-access latency histogram — one
+// row per memlat calibration point (docs/OBSERVABILITY.md). The "hist"
+// key doubles as the row-kind probe for prodigy-stat, mirroring how
+// "label" marks run summaries and "interval" marks metrics rows.
+type HistRow struct {
+	// Hist names the calibration point (e.g. "memlat-chase-16K").
+	Hist string `json:"hist"`
+	// Pattern and WorkingSet echo the workload config.
+	Pattern    string `json:"pattern"`
+	WorkingSet int    `json:"working_set"`
+	// Target is the plateau the point is sized for: "L1", "L2", "L3",
+	// "MEM", or "TLB".
+	Target string `json:"target"`
+	// Expect is the modal latency the machine config predicts for the
+	// target (cumulative hit latency, plus DRAM access and/or TLB walk).
+	Expect int64 `json:"expect"`
+	// Mode is the recorded modal latency; the calibration gate is
+	// Mode == Expect.
+	Mode  int64   `json:"mode"`
+	Total uint64  `json:"total"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	// Buckets are the non-empty histogram buckets in ascending order.
+	Buckets []stats.HistBucket `json:"buckets"`
+}
+
+// NewHistRow summarizes h into a row.
+func NewHistRow(name, pattern string, workingSet int, target string, expect int64, h *stats.Histogram) HistRow {
+	return HistRow{
+		Hist:       name,
+		Pattern:    pattern,
+		WorkingSet: workingSet,
+		Target:     target,
+		Expect:     expect,
+		Mode:       h.Mode(),
+		Total:      h.Total(),
+		Mean:       h.Mean(),
+		Max:        h.Max(),
+		P50:        h.Percentile(0.50),
+		P95:        h.Percentile(0.95),
+		P99:        h.Percentile(0.99),
+		Buckets:    h.Buckets(),
+	}
+}
+
+// WriteHistRows emits rows as JSONL.
+func WriteHistRows(w io.Writer, rows []HistRow) error {
+	enc := json.NewEncoder(w)
+	for _, row := range rows {
+		if err := enc.Encode(row); err != nil {
+			return fmt.Errorf("obs: writing histogram row %q: %w", row.Hist, err)
+		}
+	}
+	return nil
+}

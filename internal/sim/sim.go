@@ -85,6 +85,16 @@ type Config struct {
 	// tag and the aggregate counters. The default (nil) costs one branch
 	// per fill and allocates nothing.
 	LedgerHook func(PFLineEvent)
+	// LatencyHook, when set, receives every demand load's and atomic's
+	// issue→ready latency in cycles (TLB walk + hierarchy + DRAM +
+	// queueing, exactly the wait the wakeup scheduler charges the core)
+	// together with the level that serviced it. Plain stores are skipped:
+	// they drain through the store buffer at now+1 and say nothing about
+	// memory latency. The latency-calibration suite (internal/exp memlat
+	// sweep, docs/EXPERIMENTS.md) feeds a stats.Histogram from this. The
+	// default (nil) costs one branch per access and never perturbs
+	// timing.
+	LatencyHook func(core int, lat int64, level cache.Level)
 }
 
 // PFLineEvent is one prefetched line's issue→fill record, delivered to
@@ -536,7 +546,11 @@ func NewMachine(cfg Config, space *memspace.Space, gen *trace.Gen) (*Machine, er
 		fac = prefetch.None()
 	}
 	for c := 0; c < cfg.Cores; c++ {
-		m.tlbs = append(m.tlbs, tlb.New(cfg.TLB))
+		tb, err := tlb.New(cfg.TLB)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		m.tlbs = append(m.tlbs, tb)
 		core := c
 		env := prefetch.Env{
 			Core:     core,
@@ -578,8 +592,32 @@ func (m *Machine) levelLat(lvl cache.Level) int64 {
 	}
 }
 
-// demandAccess resolves one demand load/store/atomic.
+// memIssueAt composes the cycle at which a request that missed the
+// whole hierarchy reaches the memory controller: translation plus the
+// full L3 lookup. Every path that hands a request to DRAM — the demand
+// miss, the in-flight-prefetch promotion, and the prefetch issue — must
+// compose this identically, or the same physical access would be
+// charged different latencies depending on which path won the race; the
+// memlat calibration suite pins the sum (docs/SIMULATION.md).
+//
+//hot:inline
+func (m *Machine) memIssueAt(now, tlbLat int64) int64 {
+	return now + tlbLat + int64(m.cfg.Cache.L3Lat)
+}
+
+// demandAccess resolves one demand load/store/atomic and, when the
+// opt-in LatencyHook is armed, reports the issue→ready latency of
+// everything the core actually waits on (loads and atomics).
 func (m *Machine) demandAccess(core int, now int64, in trace.Instr) (int64, cache.Level) {
+	ready, lvl := m.demandResolve(core, now, in)
+	if m.cfg.LatencyHook != nil && in.Kind != trace.Store {
+		m.cfg.LatencyHook(core, ready-now, lvl)
+	}
+	return ready, lvl
+}
+
+// demandResolve is the hook-free body of demandAccess.
+func (m *Machine) demandResolve(core int, now int64, in trace.Instr) (int64, cache.Level) {
 	m.now = now
 	addr := in.Addr
 	tlbLat := m.tlbs[core].Translate(addr)
@@ -615,7 +653,7 @@ func (m *Machine) demandAccess(core int, now int64, in trace.Instr) (int64, cach
 				// make the demand wait longer than a fresh demand read would. The
 				// line transfer is already booked, so no new bandwidth is consumed.
 				if ev.level == cache.LvlMem {
-					promoted := m.mem.Promote(now + tlbLat + int64(m.cfg.Cache.L3Lat))
+					promoted := m.mem.Promote(m.memIssueAt(now, tlbLat))
 					if promoted < ev.ready {
 						ev.ready = promoted
 						m.events.fix(ev.idx)
@@ -638,8 +676,9 @@ func (m *Machine) demandAccess(core int, now int64, in trace.Instr) (int64, cach
 	}
 	var ready int64
 	if res.Level == cache.LvlMem {
-		issued := now + tlbLat + int64(res.Lat)
-		done := m.mem.Request(issued)
+		// On a full miss res.Lat is the whole-hierarchy traversal, i.e.
+		// L3Lat — the same composition as the promote and prefetch paths.
+		done := m.mem.Request(m.memIssueAt(now, tlbLat))
 		if in.Kind == trace.Store {
 			// Plain stores drain through the store buffer; the core does
 			// not wait, but the bandwidth was consumed above.
@@ -711,7 +750,7 @@ func (m *Machine) issuePrefetchAt(core int, addr uint64, meta uint32, probed cac
 	var ready int64
 	var level cache.Level
 	if lvl == cache.LvlNone {
-		ready = m.mem.RequestPrefetch(m.now + tlbLat + int64(m.cfg.Cache.L3Lat))
+		ready = m.mem.RequestPrefetch(m.memIssueAt(m.now, tlbLat))
 		level = cache.LvlMem
 	} else {
 		ready = m.now + tlbLat + m.levelLat(lvl)

@@ -4,6 +4,8 @@
 // prefetch requests consult it.
 package tlb
 
+import "fmt"
+
 // Config parameterizes a TLB.
 type Config struct {
 	Entries  int // total entries (set-associative)
@@ -17,6 +19,33 @@ func Default() Config {
 	return Config{Entries: 64, Assoc: 4, PageBits: 12, WalkLat: 20}
 }
 
+// Validate reports the first problem with the geometry, mirroring
+// cache.Config.Validate: a bad sweep point must surface as a run error
+// from sim.NewMachine, not a panic (or, worse, a silently clamped
+// single-set TLB when Assoc exceeds Entries).
+func (cfg Config) Validate() error {
+	if cfg.Entries <= 0 || cfg.Assoc <= 0 {
+		return fmt.Errorf("tlb: entries (%d) and assoc (%d) must be positive", cfg.Entries, cfg.Assoc)
+	}
+	if cfg.Assoc > cfg.Entries {
+		return fmt.Errorf("tlb: assoc %d exceeds entries %d", cfg.Assoc, cfg.Entries)
+	}
+	if cfg.Entries%cfg.Assoc != 0 {
+		return fmt.Errorf("tlb: entries %d not divisible by assoc %d", cfg.Entries, cfg.Assoc)
+	}
+	numSets := cfg.Entries / cfg.Assoc
+	if numSets&(numSets-1) != 0 {
+		return fmt.Errorf("tlb: set count %d is not a power of two", numSets)
+	}
+	if cfg.PageBits == 0 {
+		return fmt.Errorf("tlb: page bits must be positive")
+	}
+	if cfg.WalkLat < 0 {
+		return fmt.Errorf("tlb: negative walk latency %d", cfg.WalkLat)
+	}
+	return nil
+}
+
 // Stats counts TLB events.
 type Stats struct {
 	Accesses uint64
@@ -25,7 +54,10 @@ type Stats struct {
 
 type entry struct {
 	vpn uint64 // virtual page number + 1 (0 = invalid)
-	lru uint32
+	// lru is a 64-bit access timestamp: a uint32 would wrap after 2^32
+	// translations, inverting the ordering so every miss evicts the MRU
+	// entry instead of the LRU one for the next 2^32 accesses.
+	lru uint64
 }
 
 // TLB is one core's translation lookaside buffer.
@@ -34,7 +66,7 @@ type TLB struct {
 	sets    []entry
 	assoc   int
 	setMask uint64
-	tick    uint32
+	tick    uint64
 	// last is the slot of the most recent hit or install: consecutive
 	// accesses to one page (common when streaming through an array) skip
 	// the set scan. Validated by tag compare, so staleness is harmless.
@@ -42,21 +74,19 @@ type TLB struct {
 	Stats Stats
 }
 
-// New builds a TLB.
-func New(cfg Config) *TLB {
+// New builds a TLB. An invalid geometry is reported as an error
+// (cfg.Validate), matching the cache.New / sim.NewMachine convention.
+func New(cfg Config) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	numSets := cfg.Entries / cfg.Assoc
-	if numSets == 0 {
-		numSets = 1
-	}
-	if numSets&(numSets-1) != 0 {
-		panic("tlb: set count must be a power of two")
-	}
 	return &TLB{
 		cfg:     cfg,
 		sets:    make([]entry, numSets*cfg.Assoc),
 		assoc:   cfg.Assoc,
 		setMask: uint64(numSets - 1),
-	}
+	}, nil
 }
 
 // Translate looks up the page containing addr and returns the added
