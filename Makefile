@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-json fmt test race bench bench-json quick-gate stat-smoke memlat-smoke tables trace-demo
+.PHONY: check build vet lint lint-json fmt test race bench bench-json quick-gate stat-smoke memlat-smoke serve-smoke tables trace-demo
 
-check: build vet lint race stat-smoke memlat-smoke quick-gate
+check: build vet lint race stat-smoke memlat-smoke serve-smoke quick-gate
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,14 @@ stat-smoke:
 	else \
 		echo "stat-smoke: ok (plain diff passes, threshold gate bites)"; \
 	fi
+
+# Sweep-service smoke (part of `make check`): boot prodigy-serve on a
+# loopback port with a temporary cache, POST a quick sweep and assert the
+# streamed NDJSON, then restart the server on the same cache and assert
+# the re-POSTed sweep replays every cell byte-identically without
+# simulating (docs/SERVING.md).
+serve-smoke:
+	@$(GO) run ./cmd/prodigy-serve -smoke
 
 # Latency-calibration smoke (part of `make check`): run the memlat
 # pointer-chase sweep on the Table-I machine and assert every plateau —

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"prodigy/internal/exp/farm"
+	"prodigy/internal/statdiff"
+)
+
+// server is the HTTP/JSON front end over a farm. Routes
+// (docs/SERVING.md):
+//
+//	POST   /sweeps            submit a sweep; streams its NDJSON unless ?detach=1
+//	GET    /sweeps            list sweep statuses
+//	GET    /sweeps/{id}       one sweep's status
+//	GET    /sweeps/{id}/stream attach to a sweep's NDJSON (replay + live tail)
+//	DELETE /sweeps/{id}       cancel a sweep's in-flight and queued cells
+//	GET    /diff              compare two finished sweeps with the
+//	                          prodigy-stat diff reducer
+//	GET    /healthz           liveness
+type server struct {
+	farm *farm.Farm
+}
+
+// newHandler wires the routes.
+func newHandler(f *farm.Farm) http.Handler {
+	s := &server{farm: f}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /sweeps", s.postSweep)
+	mux.HandleFunc("GET /sweeps", s.listSweeps)
+	mux.HandleFunc("GET /sweeps/{id}", s.getSweep)
+	mux.HandleFunc("GET /sweeps/{id}/stream", s.streamSweep)
+	mux.HandleFunc("DELETE /sweeps/{id}", s.deleteSweep)
+	mux.HandleFunc("GET /diff", s.diff)
+	return mux
+}
+
+// writeStatusJSON emits one sweep status (or any JSON value) with code.
+func writeStatusJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The header is already out; nothing to do beyond noting it.
+		_ = err
+	}
+}
+
+// postSweep submits a sweep. By default the response is the sweep's
+// chunked NDJSON stream (cached replays first, then live completions)
+// and the submitting client owns the sweep's lifecycle: disconnecting
+// before completion cancels the in-flight cells. With ?detach=1 the
+// sweep runs server-side and the response is its status; attach
+// separately via GET /sweeps/{id}/stream (detached streams never cancel
+// on disconnect).
+func (s *server) postSweep(w http.ResponseWriter, r *http.Request) {
+	var spec farm.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, "bad sweep spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sw, err := s.farm.Start(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, farm.ErrShutdown) {
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	st := sw.Status()
+	w.Header().Set("X-Sweep-Id", sw.ID)
+	w.Header().Set("X-Sweep-Cells", strconv.Itoa(st.Cells))
+	w.Header().Set("X-Sweep-Cached", strconv.Itoa(st.Cached))
+	if r.URL.Query().Get("detach") != "" {
+		writeStatusJSON(w, http.StatusAccepted, st)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if _, err := sw.Log.Stream(r.Context(), w); err != nil {
+		// The submitting client went away mid-sweep: cancel the cells it
+		// was waiting on (completed cells stay cached).
+		if cerr := s.farm.Cancel(sw.ID); cerr != nil {
+			_ = cerr // the sweep vanished; nothing to cancel
+		}
+	}
+}
+
+func (s *server) listSweeps(w http.ResponseWriter, r *http.Request) {
+	writeStatusJSON(w, http.StatusOK, s.farm.List())
+}
+
+func (s *server) getSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.farm.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such sweep", http.StatusNotFound)
+		return
+	}
+	writeStatusJSON(w, http.StatusOK, sw.Status())
+}
+
+// streamSweep attaches to a sweep's NDJSON: the full history replays
+// first, then live completions, closing when the sweep finishes. Any
+// number of concurrent clients receive byte-identical streams; an
+// attached client disconnecting never cancels the sweep.
+func (s *server) streamSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.farm.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such sweep", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if _, err := sw.Log.Stream(r.Context(), w); err != nil {
+		_ = err // client went away; the sweep keeps running
+	}
+}
+
+func (s *server) deleteSweep(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.farm.Cancel(id); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	sw, _ := s.farm.Get(id)
+	writeStatusJSON(w, http.StatusAccepted, sw.Status())
+}
+
+// diffResponse is the GET /diff payload.
+type diffResponse struct {
+	Base     string   `json:"base"`
+	New      string   `json:"new"`
+	Matched  int      `json:"matched"`
+	BaseOnly int      `json:"base_only"`
+	NewOnly  int      `json:"new_only"`
+	Table    string   `json:"table"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+// diff compares two finished sweeps with the prodigy-stat diff reducer
+// (internal/statdiff): GET /diff?base=s001&new=s002[&fail-on=ipc=2,...].
+// Threshold breaches return 409 so CI can gate on the status code alone,
+// with the rendered table and failure list in the JSON body either way.
+func (s *server) diff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	baseSweep, ok := s.farm.Get(q.Get("base"))
+	if !ok {
+		http.Error(w, "no such sweep: "+q.Get("base"), http.StatusNotFound)
+		return
+	}
+	newSweep, ok := s.farm.Get(q.Get("new"))
+	if !ok {
+		http.Error(w, "no such sweep: "+q.Get("new"), http.StatusNotFound)
+		return
+	}
+	if !baseSweep.Status().Done || !newSweep.Status().Done {
+		http.Error(w, "both sweeps must be finished", http.StatusConflict)
+		return
+	}
+	specs, err := statdiff.ParseFailOn(q.Get("fail-on"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	baseRuns, err := baseSweep.Summaries()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	newRuns, err := newSweep.Summaries()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	res := statdiff.Diff(baseRuns, newRuns, specs)
+	code := http.StatusOK
+	if len(res.Failures) > 0 {
+		code = http.StatusConflict
+	}
+	writeStatusJSON(w, code, diffResponse{
+		Base:     baseSweep.ID,
+		New:      newSweep.ID,
+		Matched:  res.Matched,
+		BaseOnly: res.BaseOnly,
+		NewOnly:  res.NewOnly,
+		Table:    res.Table.String(),
+		Failures: res.Failures,
+	})
+}

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+
+	"prodigy/internal/exp"
+	"prodigy/internal/exp/farm"
+)
+
+// testCfg is the tiny machine the server tests sweep.
+func testCfg() exp.Config {
+	c := exp.Quick()
+	c.Datasets = []string{"po"}
+	c.Parallelism = 2
+	return c
+}
+
+const testSpec = `{"algos":["bfs"],"schemes":["none","prodigy"]}`
+
+func mustStop(t *testing.T, stop func() error) {
+	t.Helper()
+	if err := stop(); err != nil {
+		t.Fatalf("server stop: %v", err)
+	}
+}
+
+// TestServerSweepLifecycleAndRestart drives the full HTTP surface: POST
+// streams NDJSON with the sweep headers, a duplicate POST replays from
+// the cache, /diff compares the two finished sweeps, and a rebooted
+// server over the same cache directory replays byte-identically.
+func TestServerSweepLifecycleAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	base, stop, err := serveOnLoopback(dir, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lines1, cached1, err := postSweepLines(base)
+	if err != nil {
+		mustStop(t, stop)
+		t.Fatal(err)
+	}
+	if cached1 != 0 || len(lines1) != 2 {
+		mustStop(t, stop)
+		t.Fatalf("first sweep: %d lines, %d cached; want 2, 0", len(lines1), cached1)
+	}
+
+	// Status surfaces: list and single-sweep.
+	var statuses []farm.Status
+	if err := getJSON(base+"/sweeps", &statuses); err != nil {
+		mustStop(t, stop)
+		t.Fatal(err)
+	}
+	if len(statuses) != 1 || !statuses[0].Done || statuses[0].Simulated != 2 {
+		mustStop(t, stop)
+		t.Fatalf("sweep list = %+v", statuses)
+	}
+	var st farm.Status
+	if err := getJSON(base+"/sweeps/"+statuses[0].ID, &st); err != nil {
+		mustStop(t, stop)
+		t.Fatal(err)
+	}
+	if st.ID != statuses[0].ID || st.Cells != 2 {
+		mustStop(t, stop)
+		t.Fatalf("sweep status = %+v", st)
+	}
+
+	// Duplicate POST on the same server: full cache replay.
+	lines2, cached2, err := postSweepLines(base)
+	if err != nil {
+		mustStop(t, stop)
+		t.Fatal(err)
+	}
+	if cached2 != 2 || len(lines2) != 2 {
+		mustStop(t, stop)
+		t.Fatalf("duplicate sweep: %d lines, %d cached; want 2, 2", len(lines2), cached2)
+	}
+
+	// Diff the two finished sweeps: identical cells, no regressions even
+	// at an absurdly tight threshold.
+	var dr diffResponse
+	if err := getJSON(base+"/diff?base=s001&new=s002&fail-on=ipc=0.0001", &dr); err != nil {
+		mustStop(t, stop)
+		t.Fatal(err)
+	}
+	if dr.Matched != 2 || dr.BaseOnly != 0 || dr.NewOnly != 0 || len(dr.Failures) != 0 {
+		mustStop(t, stop)
+		t.Fatalf("diff = %+v", dr)
+	}
+	mustStop(t, stop)
+
+	// Reboot over the same cache directory: byte-identical replay.
+	base2, stop2, err := serveOnLoopback(dir, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines3, cached3, err := postSweepLines(base2)
+	mustStop(t, stop2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached3 != 2 {
+		t.Fatalf("rebooted server cached %d/2 cells", cached3)
+	}
+	sort.Strings(lines1)
+	sort.Strings(lines3)
+	for i := range lines1 {
+		if lines1[i] != lines3[i] {
+			t.Fatalf("restart replay not byte-identical:\nlive:   %s\nreplay: %s", lines1[i], lines3[i])
+		}
+	}
+}
+
+// TestServerDetachStreamDelete submits a detached sweep, attaches a
+// stream, cancels via DELETE, and checks the sweep settles with every
+// cell accounted for (completed cells cached, the rest canceled).
+func TestServerDetachStreamDelete(t *testing.T) {
+	dir := t.TempDir()
+	base, stop, err := serveOnLoopback(dir, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustStop(t, stop)
+
+	resp, err := http.Post(base+"/sweeps?detach=1", "application/json", strings.NewReader(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st farm.Status
+	body, _ := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("detached POST = %s: %s", resp.Status, body)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("detached POST body %q: %v", body, err)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, base+"/sweeps/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := dresp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE = %s", dresp.Status)
+	}
+
+	// Attaching drains to end-of-stream once the (canceled) sweep
+	// finishes; attached clients never block forever.
+	sresp, err := http.Get(base + "/sweeps/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(sresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if cerr := sresp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err := getJSON(base+"/sweeps/"+st.ID, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || !st.Canceled {
+		t.Fatalf("post-delete status = %+v, want done and canceled", st)
+	}
+	if st.Cached+st.Simulated+st.Aborted != st.Cells {
+		t.Fatalf("cells unaccounted for: %+v", st)
+	}
+}
+
+// TestServerRejectsBadRequests pins the error surface: malformed specs,
+// unknown sweeps, and bad diff parameters.
+func TestServerRejectsBadRequests(t *testing.T) {
+	dir := t.TempDir()
+	base, stop, err := serveOnLoopback(dir, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustStop(t, stop)
+
+	for _, c := range []struct {
+		body string
+		want int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{"algos":["bfs"],"schemes":["none"],"bogus":1}`, http.StatusBadRequest},
+		{`{"algos":["nosuch"],"schemes":["none"]}`, http.StatusBadRequest},
+		{`{"algos":["bfs"],"schemes":[]}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(base+"/sweeps", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if resp.StatusCode != c.want {
+			t.Errorf("POST %q = %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+	for _, url := range []string{
+		base + "/sweeps/nosuch",
+		base + "/sweeps/nosuch/stream",
+		base + "/diff?base=nosuch&new=nosuch",
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", url, resp.StatusCode)
+		}
+	}
+}
+
+// getJSON fetches url and decodes the JSON body into v, failing on any
+// non-200 status.
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		return cerr
+	}
+	if rerr != nil {
+		return rerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return json.Unmarshal(body, v)
+}

@@ -8,11 +8,11 @@ import (
 	"io"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 
 	"prodigy/internal/exp"
 	"prodigy/internal/obs"
+	"prodigy/internal/statdiff"
 	"prodigy/internal/stats"
 )
 
@@ -139,11 +139,6 @@ func runShow(stdout, stderr io.Writer, args []string) int {
 		return 2
 	}
 	return 0
-}
-
-// cellKey joins two runner logs cell-for-cell.
-func cellKey(s exp.RunSummary) string {
-	return s.Label + "|" + s.Scheme + "|" + s.Variant
 }
 
 func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
@@ -293,109 +288,9 @@ func runHist(stdout, stderr io.Writer, args []string) int {
 	return 0
 }
 
-// metric extracts one named comparison metric from a summary; ok is false
-// when the summary has no value for it (e.g. pf metrics on a no-prefetch
-// run).
-func metric(s exp.RunSummary, name string) (float64, bool) {
-	switch name {
-	case "ipc":
-		return s.IPC, true
-	case "cycles":
-		return float64(s.Cycles), true
-	case "wall":
-		return s.WallMS, true
-	case "accuracy":
-		if s.PF == nil {
-			return 0, false
-		}
-		return s.PF.Accuracy, true
-	case "coverage":
-		if s.PF == nil {
-			return 0, false
-		}
-		return s.PF.Coverage, true
-	case "timeliness":
-		if s.PF == nil {
-			return 0, false
-		}
-		return s.PF.Timeliness, true
-	}
-	return 0, false
-}
-
-// higherBetter reports the regression direction for a metric: a drop in
-// ipc/accuracy/coverage/timeliness is a regression, a rise in cycles/wall
-// is.
-func higherBetter(name string) bool {
-	switch name {
-	case "cycles", "wall":
-		return false
-	}
-	return true
-}
-
-var diffMetrics = []string{"cycles", "ipc", "accuracy", "coverage", "timeliness", "wall"}
-
-// failSpec is one parsed -fail-on entry: fail when metric regresses by
-// more than thresholdPct percent.
-type failSpec struct {
-	metric       string
-	thresholdPct float64
-}
-
-// parseFailOn parses "accuracy=5,ipc=2" into specs, validating metric
-// names against the comparable set.
-func parseFailOn(spec string) ([]failSpec, error) {
-	if spec == "" {
-		return nil, nil
-	}
-	var out []failSpec
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		kv := strings.SplitN(part, "=", 2)
-		if len(kv) != 2 {
-			return nil, fmt.Errorf("bad -fail-on entry %q (want metric=percent)", part)
-		}
-		name := strings.TrimSpace(kv[0])
-		if _, ok := metric(exp.RunSummary{PF: &exp.PFSummary{}}, name); !ok {
-			return nil, fmt.Errorf("unknown -fail-on metric %q (want one of ipc, cycles, wall, accuracy, coverage, timeliness)", name)
-		}
-		th, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
-		if err != nil || th < 0 {
-			return nil, fmt.Errorf("bad -fail-on threshold %q", kv[1])
-		}
-		out = append(out, failSpec{metric: name, thresholdPct: th})
-	}
-	return out, nil
-}
-
-// deltaPct is the signed percentage change from base to new (positive =
-// increase). Returns 0 when base is 0.
-func deltaPct(base, cur float64) float64 {
-	if base == 0 {
-		return 0
-	}
-	return 100 * (cur - base) / base
-}
-
-// regressionPct converts a signed delta into "percent worse" for the
-// metric's direction: 0 when the metric moved the good way.
-func regressionPct(name string, d float64) float64 {
-	if higherBetter(name) {
-		if d < 0 {
-			return -d
-		}
-		return 0
-	}
-	if d > 0 {
-		return d
-	}
-	return 0
-}
-
+// runDiff joins two runner JSONLs and prints percentage deltas. The
+// reduction itself lives in internal/statdiff so the sweep server's
+// GET /diff endpoint shares it exactly.
 func runDiff(stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -404,7 +299,7 @@ func runDiff(stdout, stderr io.Writer, args []string) int {
 		fmt.Fprintln(stderr, "usage: prodigy-stat diff [-fail-on spec] <base.jsonl> <new.jsonl>")
 		return 2
 	}
-	specs, err := parseFailOn(*failOn)
+	specs, err := statdiff.ParseFailOn(*failOn)
 	if err != nil {
 		fmt.Fprintln(stderr, "prodigy-stat:", err)
 		return 2
@@ -424,68 +319,12 @@ func runDiff(stdout, stderr io.Writer, args []string) int {
 		return 2
 	}
 
-	// Last record wins per cell (append-mode logs re-run cells).
-	base := map[string]exp.RunSummary{}
-	for _, s := range baseRuns {
-		base[cellKey(s)] = s
-	}
-	// Join in new-file order, deduped.
-	seen := map[string]bool{}
-	var keys []string
-	cur := map[string]exp.RunSummary{}
-	for _, s := range newRuns {
-		k := cellKey(s)
-		cur[k] = s
-		if !seen[k] {
-			seen[k] = true
-			keys = append(keys, k)
-		}
-	}
-
-	headers := append([]string{"label", "scheme"}, diffMetrics...)
-	t := stats.NewTable("Diff (delta % vs base)", headers...)
-	var failures []string
-	matched := 0
-	for _, k := range keys {
-		n := cur[k]
-		b, ok := base[k]
-		if !ok {
-			continue
-		}
-		matched++
-		scheme := n.Scheme
-		if n.Variant != "" {
-			scheme += " " + n.Variant
-		}
-		row := []interface{}{n.Label, scheme}
-		for _, m := range diffMetrics {
-			bv, bok := metric(b, m)
-			nv, nok := metric(n, m)
-			if !bok || !nok {
-				row = append(row, "-")
-				continue
-			}
-			d := deltaPct(bv, nv)
-			row = append(row, fmt.Sprintf("%+.1f%%", d))
-			for _, spec := range specs {
-				if spec.metric != m {
-					continue
-				}
-				if reg := regressionPct(m, d); reg > spec.thresholdPct {
-					failures = append(failures,
-						fmt.Sprintf("%s/%s: %s regressed %.1f%% (threshold %.1f%%)",
-							n.Label, scheme, m, reg, spec.thresholdPct))
-				}
-			}
-		}
-		t.AddRow(row...)
-	}
-	fmt.Fprintln(stdout, t)
+	res := statdiff.Diff(baseRuns, newRuns, specs)
+	fmt.Fprintln(stdout, res.Table)
 	fmt.Fprintf(stdout, "%d cells compared (%d base-only, %d new-only)\n",
-		matched, len(base)-matched, len(keys)-matched)
-	if len(failures) > 0 {
-		sort.Strings(failures)
-		for _, f := range failures {
+		res.Matched, res.BaseOnly, res.NewOnly)
+	if len(res.Failures) > 0 {
+		for _, f := range res.Failures {
 			fmt.Fprintln(stderr, "FAIL:", f)
 		}
 		return 1

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"prodigy/internal/statdiff"
 )
 
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -122,18 +124,18 @@ func TestDiffUsageErrors(t *testing.T) {
 }
 
 func TestParseFailOn(t *testing.T) {
-	specs, err := parseFailOn("accuracy=5, ipc=2.5")
+	specs, err := statdiff.ParseFailOn("accuracy=5, ipc=2.5")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(specs) != 2 || specs[0].metric != "accuracy" || specs[0].thresholdPct != 5 ||
-		specs[1].metric != "ipc" || specs[1].thresholdPct != 2.5 {
-		t.Errorf("parseFailOn: %+v", specs)
+	if len(specs) != 2 || specs[0].Metric != "accuracy" || specs[0].ThresholdPct != 5 ||
+		specs[1].Metric != "ipc" || specs[1].ThresholdPct != 2.5 {
+		t.Errorf("ParseFailOn: %+v", specs)
 	}
-	if _, err := parseFailOn("accuracy=-1"); err == nil {
+	if _, err := statdiff.ParseFailOn("accuracy=-1"); err == nil {
 		t.Error("negative threshold accepted")
 	}
-	if specs, err := parseFailOn(""); err != nil || specs != nil {
+	if specs, err := statdiff.ParseFailOn(""); err != nil || specs != nil {
 		t.Errorf("empty spec: %+v, %v", specs, err)
 	}
 }

@@ -81,6 +81,19 @@ type Config struct {
 	// budget, converting it into a tagged error exactly like the simulator's
 	// MaxCycles guard (the run's goroutine exits cooperatively). 0 disables.
 	RunTimeout time.Duration
+	// Interrupt, when set, is polled during every simulation ahead of the
+	// RunTimeout watchdog: returning a non-empty cause aborts the run with
+	// sim.ErrInterrupted and tags its JSONL abort record with that cause
+	// (AbortCanceled when a sweep server cancels in-flight cells,
+	// AbortShutdown while draining). Return "" to let the run continue.
+	Interrupt func() (cause string)
+	// ReleaseWorkloads drops each memoized run's workload reference (the
+	// functional memory image, dataset arrays, and instruction-stream
+	// closures) once the run has completed and — when Verify is set — been
+	// verified. Figure reductions never read Run.W, so one-shot drivers
+	// lose nothing; a long-running sweep service must set this or every
+	// dataset it ever simulated stays pinned in the memo cache.
+	ReleaseWorkloads bool
 	// Progress, when non-nil, receives one-line sweep progress reports
 	// (runs completed/total, ETA, slowest run so far) every
 	// ProgressInterval, plus a final summary per sweep.
@@ -168,6 +181,9 @@ type Harness struct {
 	cache map[string]*runEntry
 	// jsonMu serializes JSONLog writes from concurrent workers.
 	jsonMu sync.Mutex
+	// errw overrides the stderr destination of internal failure reports
+	// (tests capture it; nil means os.Stderr).
+	errw io.Writer
 	// mshrOverride adjusts the per-core prefetch MSHR cap (tests).
 	mshrOverride int
 }
@@ -338,6 +354,17 @@ func (h *Harness) simulate(algo, dataset string, scheme Scheme, v runVariant) (*
 		PrefetchMSHRs:  h.mshrOverride,
 		MaxCycles:      h.Cfg.MaxCycles,
 	}
+	// Interrupt sources are cause-tagged: whichever source trips first
+	// records why the run died, so the abort JSONL distinguishes a
+	// wall-clock timeout from a server-side cancel or shutdown. External
+	// interrupts (Config.Interrupt) are polled ahead of the watchdog — a
+	// cell canceled after its timeout expired but before the next poll is
+	// still reported canceled.
+	var interruptCause string
+	var interrupts []func() string
+	if h.Cfg.Interrupt != nil {
+		interrupts = append(interrupts, h.Cfg.Interrupt)
+	}
 	if h.Cfg.RunTimeout > 0 {
 		// Wall-clock guard with MaxCycles semantics: a timer flips an atomic
 		// flag, the simulator polls it and aborts with an error, and the
@@ -349,8 +376,22 @@ func (h *Harness) simulate(algo, dataset string, scheme Scheme, v runVariant) (*
 		//lint:allow determinism timeout watchdog; an expired run is reported failed, never mixed into results
 		timer := time.AfterFunc(h.Cfg.RunTimeout, func() { expired.Store(true) })
 		defer timer.Stop()
+		interrupts = append(interrupts, func() string {
+			if expired.Load() || time.Now().After(deadline) { //lint:allow determinism timeout watchdog; see above
+				return AbortTimeout
+			}
+			return ""
+		})
+	}
+	if len(interrupts) > 0 {
 		scfg.Interrupt = func() bool {
-			return expired.Load() || time.Now().After(deadline) //lint:allow determinism timeout watchdog; see above
+			for _, poll := range interrupts {
+				if c := poll(); c != "" {
+					interruptCause = c
+					return true
+				}
+			}
+			return false
 		}
 	}
 	run := &Run{Label: w.Label(), Scheme: scheme, W: w}
@@ -390,7 +431,7 @@ func (h *Harness) simulate(algo, dataset string, scheme Scheme, v runVariant) (*
 	if err != nil {
 		err = fmt.Errorf("exp: %s/%s: %w", w.Label(), scheme, err)
 		//lint:allow determinism aborted-run wall time feeds the JSONL record, not results
-		h.emitAbort(w.Label(), scheme, v, err, res, time.Since(start))
+		h.emitAbort(w.Label(), scheme, v, err, interruptCause, res, time.Since(start))
 		return nil, err
 	}
 	if cerr != nil {
@@ -403,6 +444,11 @@ func (h *Harness) simulate(algo, dataset string, scheme Scheme, v runVariant) (*
 	}
 	run.Res = res
 	run.Wall = time.Since(start) //lint:allow determinism Run.Wall reports host time; simulated cycles never read it
+	if h.Cfg.ReleaseWorkloads {
+		// Completed (and, when requested, verified): drop the dataset
+		// arrays so the memo cache retains only the statistics.
+		run.W = nil
+	}
 	h.emitJSON(run, v)
 	return run, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -265,21 +266,42 @@ func pfSummaryOf(res sim.Result) *PFSummary {
 	}
 }
 
+// Abort-cause tags recorded in RunSummary.Abort. The first three are
+// interrupt causes: the RunTimeout watchdog reports AbortTimeout, and
+// external interrupt sources (Config.Interrupt — e.g. the sweep service
+// in internal/exp/farm) report AbortCanceled for a client cancellation
+// and AbortShutdown for a server drain.
+const (
+	AbortTimeout   = "timeout"
+	AbortCanceled  = "canceled"
+	AbortShutdown  = "shutdown"
+	AbortMaxCycles = "max-cycles"
+	AbortDeadlock  = "deadlock"
+	AbortError     = "error"
+)
+
 // abortKind classifies a simulation failure for the JSONL record. The
 // typed sentinels from internal/sim survive the exp error wrapping, so a
 // sweep log distinguishes a wall-clock timeout from a runaway simulation
-// hitting MaxCycles or a scheduler deadlock.
-func abortKind(err error) string {
+// hitting MaxCycles or a scheduler deadlock. An interrupted run carries
+// the cause recorded by whichever interrupt source tripped (timeout
+// watchdog vs an external canceler), so a server-canceled cell is tagged
+// "canceled", never misreported as "timeout".
+func abortKind(err error, cause string) string {
 	switch {
 	case errors.Is(err, sim.ErrInterrupted):
-		// The only Interrupt source exp installs is the RunTimeout watchdog.
-		return "timeout"
+		if cause != "" {
+			return cause
+		}
+		// Every interrupt source exp installs records a cause; this is
+		// reachable only if sim.Config.Interrupt tripped behind exp's back.
+		return "interrupted"
 	case errors.Is(err, sim.ErrMaxCycles):
-		return "max-cycles"
+		return AbortMaxCycles
 	case errors.Is(err, sim.ErrDeadlock):
-		return "deadlock"
+		return AbortDeadlock
 	default:
-		return "error"
+		return AbortError
 	}
 }
 
@@ -315,8 +337,10 @@ func (h *Harness) emitJSON(r *Run, v runVariant) {
 // emitAbort logs a failed run to Config.JSONLog so a sweep record shows
 // which cells died and why, not just which completed. res carries the
 // partial statistics the simulator collected up to the abort point
-// (zero-valued when the machine never ran, e.g. a config error).
-func (h *Harness) emitAbort(label string, scheme Scheme, v runVariant, runErr error, res sim.Result, wall time.Duration) {
+// (zero-valued when the machine never ran, e.g. a config error); cause
+// is the interrupt cause recorded by simulate, empty for non-interrupt
+// aborts.
+func (h *Harness) emitAbort(label string, scheme Scheme, v runVariant, runErr error, cause string, res sim.Result, wall time.Duration) {
 	s := RunSummary{
 		Label:           label,
 		Scheme:          string(scheme),
@@ -325,15 +349,18 @@ func (h *Harness) emitAbort(label string, scheme Scheme, v runVariant, runErr er
 		IPC:             res.IPC(),
 		DRAMUtilization: res.DRAMUtilization,
 		WallMS:          float64(wall.Microseconds()) / 1e3,
-		Abort:           abortKind(runErr),
-		Error:           runErr.Error(),
-		PF:              pfSummaryOf(res),
+		// CPIStack is always the (possibly empty) map, matching summarize:
+		// aborted and completed records share one schema ("cpi_stack":{}
+		// when there is nothing to attribute, never null).
+		CPIStack: map[string]float64{},
+		Abort:    abortKind(runErr, cause),
+		Error:    runErr.Error(),
+		PF:       pfSummaryOf(res),
 	}
 	for _, stack := range res.Stacks {
 		s.RetiredPerCore = append(s.RetiredPerCore, stack.Retired)
 	}
 	if total := float64(res.Agg.Total()); total > 0 {
-		s.CPIStack = map[string]float64{}
 		for _, k := range cpu.StallKinds {
 			s.CPIStack[k.String()] = float64(res.Agg.Cycles[k]) / total
 		}
@@ -351,11 +378,24 @@ func (h *Harness) writeJSON(s RunSummary) {
 	}
 	b, err := json.Marshal(s)
 	if err != nil {
+		// A silently dropped record would leave an invisible hole in the
+		// sweep log; report it like the write-failure path below.
+		h.logErrorf("exp: json log marshal failed (%s/%s): %v\n", s.Label, s.Scheme, err)
 		return
 	}
 	h.jsonMu.Lock()
 	defer h.jsonMu.Unlock()
 	if _, err := h.Cfg.JSONLog.Write(append(b, '\n')); err != nil {
-		fmt.Fprintf(os.Stderr, "exp: json log write failed: %v\n", err)
+		h.logErrorf("exp: json log write failed: %v\n", err)
 	}
+}
+
+// logErrorf reports a harness-internal failure on stderr; tests redirect
+// it through the errw override.
+func (h *Harness) logErrorf(format string, args ...any) {
+	w := io.Writer(os.Stderr)
+	if h.errw != nil {
+		w = h.errw
+	}
+	fmt.Fprintf(w, format, args...)
 }

@@ -1,0 +1,146 @@
+package obs
+
+// This file is the per-sweep JSONL routing layer for the sweep service
+// (internal/exp/farm, cmd/prodigy-serve). A LineLog is an append-only
+// NDJSON log that replays its full history to every subscriber before
+// tailing live appends, so any number of clients joining a sweep at any
+// time observe byte-identical streams; SweepLogPath is the on-disk
+// routing convention for the durable copy of each sweep's stream.
+
+import (
+	"context"
+	"io"
+	"path/filepath"
+	"sync"
+)
+
+// LineLog is a thread-safe append-only line log with replay semantics:
+// Stream delivers every line ever appended (history first, then live
+// appends) and returns once the log is closed. All subscribers see the
+// same lines in the same order — the log, not completion timing, is the
+// source of truth for what a sweep streamed.
+type LineLog struct {
+	mu     sync.Mutex
+	lines  [][]byte
+	closed bool
+	// changed is closed-and-replaced on every append and on Close, waking
+	// all pending Stream calls.
+	changed chan struct{}
+}
+
+// NewLineLog returns an empty open log.
+func NewLineLog() *LineLog {
+	return &LineLog{changed: make(chan struct{})}
+}
+
+// Append adds one line (without its trailing newline; a private copy is
+// taken). Appends after Close are dropped.
+func (l *LineLog) Append(line []byte) {
+	cp := append([]byte(nil), line...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.lines = append(l.lines, cp)
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// Close marks end-of-stream: pending and future Stream calls return
+// after delivering the full history.
+func (l *LineLog) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// Len returns the number of lines appended so far.
+func (l *LineLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.lines)
+}
+
+// Snapshot returns the current content as one NDJSON byte slice (each
+// line newline-terminated).
+func (l *LineLog) Snapshot() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int
+	for _, line := range l.lines {
+		n += len(line) + 1
+	}
+	out := make([]byte, 0, n)
+	for _, line := range l.lines {
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// Lines returns a copy of the individual lines appended so far.
+func (l *LineLog) Lines() [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([][]byte, len(l.lines))
+	for i, line := range l.lines {
+		out[i] = append([]byte(nil), line...)
+	}
+	return out
+}
+
+// next returns the lines appended at or after index from, whether the
+// log is closed, and a channel that signals the next state change.
+func (l *LineLog) next(from int) ([][]byte, bool, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lines[from:], l.closed, l.changed
+}
+
+// Stream copies every line — full history first, then live appends — to
+// w, newline-terminated, returning when the log is closed (nil error),
+// the context is canceled (ctx.Err()), or a write fails. Batches are
+// flushed eagerly when w implements Flush(), so chunked HTTP clients see
+// each completed cell without waiting for the sweep to finish. It
+// returns the number of lines written.
+func (l *LineLog) Stream(ctx context.Context, w io.Writer) (int, error) {
+	type flusher interface{ Flush() }
+	n := 0
+	for {
+		lines, closed, changed := l.next(n)
+		for _, line := range lines {
+			buf := make([]byte, 0, len(line)+1)
+			buf = append(buf, line...)
+			buf = append(buf, '\n')
+			if _, err := w.Write(buf); err != nil {
+				return n, err
+			}
+			n++
+		}
+		if len(lines) > 0 {
+			if f, ok := w.(flusher); ok {
+				f.Flush()
+			}
+		}
+		if closed {
+			return n, nil
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return n, ctx.Err()
+		}
+	}
+}
+
+// SweepLogPath is the on-disk location of one sweep's NDJSON stream
+// under a cache directory: <dir>/sweeps/<id>.jsonl.
+func SweepLogPath(dir, id string) string {
+	return filepath.Join(dir, "sweeps", id+".jsonl")
+}

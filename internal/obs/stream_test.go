@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestLineLogReplayThenTail checks the subscriber contract: a client
+// joining mid-stream replays the full history before tailing live
+// appends, and Stream returns nil once the log closes.
+func TestLineLogReplayThenTail(t *testing.T) {
+	l := NewLineLog()
+	l.Append([]byte("one"))
+
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	var n int
+	go func() {
+		var err error
+		n, err = l.Stream(context.Background(), &buf)
+		done <- err
+	}()
+
+	l.Append([]byte("two"))
+	l.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if n != 2 || buf.String() != "one\ntwo\n" {
+		t.Fatalf("streamed %d lines %q, want 2 lines \"one\\ntwo\\n\"", n, buf.String())
+	}
+
+	// A late subscriber still replays everything.
+	buf.Reset()
+	if n, err := l.Stream(context.Background(), &buf); err != nil || n != 2 {
+		t.Fatalf("late Stream = (%d, %v)", n, err)
+	}
+	if buf.String() != "one\ntwo\n" {
+		t.Fatalf("late replay = %q", buf.String())
+	}
+
+	// Appends after Close are dropped; Snapshot matches the stream bytes.
+	l.Append([]byte("three"))
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d after post-close append, want 2", l.Len())
+	}
+	if string(l.Snapshot()) != "one\ntwo\n" {
+		t.Fatalf("Snapshot = %q", l.Snapshot())
+	}
+}
+
+// TestLineLogStreamCancel checks a canceled subscriber detaches with
+// ctx's error after receiving the history, without affecting the log.
+func TestLineLogStreamCancel(t *testing.T) {
+	l := NewLineLog()
+	l.Append([]byte("one"))
+	ctx, cancel := context.WithCancel(context.Background())
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Stream(ctx, &buf)
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stream = %v, want context.Canceled", err)
+	}
+	if buf.String() != "one\n" {
+		t.Fatalf("canceled subscriber received %q, want the history", buf.String())
+	}
+}
+
+// TestLineLogConcurrentSubscribers hammers one log from concurrent
+// appenders and subscribers (run with -race): every subscriber must see
+// the same lines in the same order.
+func TestLineLogConcurrentSubscribers(t *testing.T) {
+	l := NewLineLog()
+	const lines = 50
+	const clients = 4
+	bufs := make([]bytes.Buffer, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := l.Stream(context.Background(), &bufs[i]); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	for i := 0; i < lines; i++ {
+		l.Append([]byte{'a' + byte(i%26)})
+	}
+	l.Close()
+	wg.Wait()
+	want := bufs[0].String()
+	if n := bytes.Count([]byte(want), []byte("\n")); n != lines {
+		t.Fatalf("client 0 received %d lines, want %d", n, lines)
+	}
+	for i := 1; i < clients; i++ {
+		if got := bufs[i].String(); got != want {
+			t.Errorf("client %d stream differs from client 0", i)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package statdiff joins two sets of runner JSONL summaries
+// cell-for-cell and computes direction-aware percentage deltas with
+// optional regression thresholds. It is the reducer behind both
+// `prodigy-stat diff` (local log files) and the sweep server's
+// GET /diff endpoint (cmd/prodigy-serve), so CI can query regressions
+// from either without reimplementing the join.
+package statdiff
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"prodigy/internal/exp"
+	"prodigy/internal/stats"
+)
+
+// Metrics lists the comparable metrics in table-column order.
+var Metrics = []string{"cycles", "ipc", "accuracy", "coverage", "timeliness", "wall"}
+
+// CellKey joins two runner logs cell-for-cell.
+func CellKey(s exp.RunSummary) string {
+	return s.Label + "|" + s.Scheme + "|" + s.Variant
+}
+
+// Metric extracts one named comparison metric from a summary; ok is
+// false when the summary has no value for it (e.g. pf metrics on a
+// no-prefetch run).
+func Metric(s exp.RunSummary, name string) (float64, bool) {
+	switch name {
+	case "ipc":
+		return s.IPC, true
+	case "cycles":
+		return float64(s.Cycles), true
+	case "wall":
+		return s.WallMS, true
+	case "accuracy":
+		if s.PF == nil {
+			return 0, false
+		}
+		return s.PF.Accuracy, true
+	case "coverage":
+		if s.PF == nil {
+			return 0, false
+		}
+		return s.PF.Coverage, true
+	case "timeliness":
+		if s.PF == nil {
+			return 0, false
+		}
+		return s.PF.Timeliness, true
+	}
+	return 0, false
+}
+
+// HigherBetter reports the regression direction for a metric: a drop in
+// ipc/accuracy/coverage/timeliness is a regression, a rise in
+// cycles/wall is.
+func HigherBetter(name string) bool {
+	switch name {
+	case "cycles", "wall":
+		return false
+	}
+	return true
+}
+
+// Spec is one parsed fail-on entry: fail when Metric regresses by more
+// than ThresholdPct percent.
+type Spec struct {
+	Metric       string
+	ThresholdPct float64
+}
+
+// ParseFailOn parses "accuracy=5,ipc=2" into specs, validating metric
+// names against the comparable set.
+func ParseFailOn(spec string) ([]Spec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []Spec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -fail-on entry %q (want metric=percent)", part)
+		}
+		name := strings.TrimSpace(kv[0])
+		if _, ok := Metric(exp.RunSummary{PF: &exp.PFSummary{}}, name); !ok {
+			return nil, fmt.Errorf("unknown -fail-on metric %q (want one of ipc, cycles, wall, accuracy, coverage, timeliness)", name)
+		}
+		th, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil || th < 0 {
+			return nil, fmt.Errorf("bad -fail-on threshold %q", kv[1])
+		}
+		out = append(out, Spec{Metric: name, ThresholdPct: th})
+	}
+	return out, nil
+}
+
+// DeltaPct is the signed percentage change from base to cur (positive =
+// increase). Returns 0 when base is 0.
+func DeltaPct(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (cur - base) / base
+}
+
+// RegressionPct converts a signed delta into "percent worse" for the
+// metric's direction: 0 when the metric moved the good way.
+func RegressionPct(name string, d float64) float64 {
+	if HigherBetter(name) {
+		if d < 0 {
+			return -d
+		}
+		return 0
+	}
+	if d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Result is one diff reduction: the rendered comparison table, the
+// sorted threshold breaches, and the join statistics.
+type Result struct {
+	Table    *stats.Table
+	Failures []string
+	Matched  int
+	BaseOnly int
+	NewOnly  int
+}
+
+// Diff joins base and cur on (label, scheme, variant) and reduces them
+// to percentage deltas. Within each input the last record wins per cell
+// (append-mode logs re-run cells); rows keep cur's first-seen order.
+// Threshold breaches from specs land in Result.Failures, sorted.
+func Diff(base, cur []exp.RunSummary, specs []Spec) Result {
+	baseByKey := map[string]exp.RunSummary{}
+	for _, s := range base {
+		baseByKey[CellKey(s)] = s
+	}
+	seen := map[string]bool{}
+	var keys []string
+	curByKey := map[string]exp.RunSummary{}
+	for _, s := range cur {
+		k := CellKey(s)
+		curByKey[k] = s
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+
+	headers := append([]string{"label", "scheme"}, Metrics...)
+	t := stats.NewTable("Diff (delta % vs base)", headers...)
+	res := Result{Table: t}
+	for _, k := range keys {
+		n := curByKey[k]
+		b, ok := baseByKey[k]
+		if !ok {
+			continue
+		}
+		res.Matched++
+		scheme := n.Scheme
+		if n.Variant != "" {
+			scheme += " " + n.Variant
+		}
+		row := []interface{}{n.Label, scheme}
+		for _, m := range Metrics {
+			bv, bok := Metric(b, m)
+			nv, nok := Metric(n, m)
+			if !bok || !nok {
+				row = append(row, "-")
+				continue
+			}
+			d := DeltaPct(bv, nv)
+			row = append(row, fmt.Sprintf("%+.1f%%", d))
+			for _, spec := range specs {
+				if spec.Metric != m {
+					continue
+				}
+				if reg := RegressionPct(m, d); reg > spec.ThresholdPct {
+					res.Failures = append(res.Failures,
+						fmt.Sprintf("%s/%s: %s regressed %.1f%% (threshold %.1f%%)",
+							n.Label, scheme, m, reg, spec.ThresholdPct))
+				}
+			}
+		}
+		t.AddRow(row...)
+	}
+	res.BaseOnly = len(baseByKey) - res.Matched
+	res.NewOnly = len(keys) - res.Matched
+	sort.Strings(res.Failures)
+	return res
+}
