@@ -8,6 +8,7 @@
 //
 //	prodigy-serve [-addr :8091] [-cache-dir DIR] [-quick] [-cores N]
 //	              [-datasets po,lj] [-j N] [-run-timeout D] [-drain D]
+//	              [-pprof] [-access-log=false]
 //
 // POST a sweep spec ({"algos":["bfs"],"schemes":["none","prodigy"]}) to
 // /sweeps and the response streams one RunSummary JSON line per cell:
@@ -21,9 +22,19 @@
 // under -cache-dir. GET /diff compares two finished sweeps with the
 // prodigy-stat diff reducer. See docs/SERVING.md for the full API.
 //
+// The service observes itself (internal/telemetry): GET /metrics serves
+// the Prometheus text exposition of the farm, store, stream, and HTTP
+// metrics; GET /varz the JSON snapshot of the same registry; every
+// request is stamped with an X-Request-Id and logged as one structured
+// JSON line (-access-log=false silences it); -pprof opts into
+// /debug/pprof. GET /sweeps/{id} reports live progress (in-flight and
+// queued cells, elapsed, ETA). docs/SERVING.md catalogs the metrics.
+//
 // On SIGINT/SIGTERM the server stops accepting sweeps and drains running
 // simulations for up to -drain before interrupting them with a typed
-// "shutdown" abort (those cells re-run on the next submission).
+// "shutdown" abort (those cells re-run on the next submission). While
+// draining, GET /healthz reports 503 "draining" so load balancers stop
+// routing to the instance.
 //
 // -smoke runs the self-contained CI smoke: boot a server on a loopback
 // port with a temporary cache, POST a quick sweep, assert the streamed
@@ -36,6 +47,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,6 +59,7 @@ import (
 
 	"prodigy/internal/exp"
 	"prodigy/internal/exp/farm"
+	"prodigy/internal/telemetry"
 )
 
 func main() {
@@ -57,6 +71,8 @@ func main() {
 	workers := flag.Int("j", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
 	timeout := flag.Duration("run-timeout", 0, "wall-clock budget per simulation (0 = no limit)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight simulations are interrupted")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof runtime profiles")
+	accessLog := flag.Bool("access-log", true, "emit one structured JSON access-log line per request on stderr")
 	smoke := flag.Bool("smoke", false, "run the self-contained smoke test and exit")
 	flag.Parse()
 
@@ -86,9 +102,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "prodigy-serve: skipped %d unparsable cache lines in %s\n",
 			store.Skipped, farm.StorePath(*cacheDir))
 	}
-	f := farm.New(farm.Config{Exp: cfg, Store: store, LogDir: *cacheDir})
+	reg := telemetry.NewRegistry()
+	f := farm.New(farm.Config{Exp: cfg, Store: store, LogDir: *cacheDir, Metrics: reg})
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(f)}
+	var logger *slog.Logger
+	if *accessLog {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	srv := &http.Server{Addr: *addr, Handler: newHandler(f, serverOpts{
+		reg:       reg,
+		accessLog: logger,
+		pprof:     *pprofOn,
+	})}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "prodigy-serve: listening on %s (cache %s, %d cached cells)\n",
@@ -121,24 +146,35 @@ func main() {
 	}
 }
 
+// instance is one loopback server generation for tests and smoke mode.
+type instance struct {
+	url  string
+	farm *farm.Farm
+	reg  *telemetry.Registry
+	stop func() error
+}
+
 // serveOnLoopback boots a server instance for tests and the smoke mode:
-// a fresh farm over the given cache dir on an ephemeral loopback port.
-// The returned stop function drains the farm and closes everything.
-func serveOnLoopback(cacheDir string, cfg exp.Config) (baseURL string, stop func() error, err error) {
+// a fresh farm (with its own telemetry registry) over the given cache
+// dir on an ephemeral loopback port, access logs discarded. The stop
+// function drains the farm and closes everything.
+func serveOnLoopback(cacheDir string, cfg exp.Config) (*instance, error) {
 	store, err := farm.OpenStore(cacheDir)
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
-	f := farm.New(farm.Config{Exp: cfg, Store: store, LogDir: cacheDir})
+	reg := telemetry.NewRegistry()
+	f := farm.New(farm.Config{Exp: cfg, Store: store, LogDir: cacheDir, Metrics: reg})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		cerr := store.Close()
-		return "", nil, errors.Join(err, cerr)
+		return nil, errors.Join(err, cerr)
 	}
-	srv := &http.Server{Handler: newHandler(f)}
+	logger := slog.New(slog.NewJSONHandler(io.Discard, nil))
+	srv := &http.Server{Handler: newHandler(f, serverOpts{reg: reg, accessLog: logger})}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
-	stop = func() error {
+	stop := func() error {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		ferr := f.Shutdown(ctx)
@@ -150,5 +186,5 @@ func serveOnLoopback(cacheDir string, cfg exp.Config) (baseURL string, stop func
 		}
 		return errors.Join(serr, cerr)
 	}
-	return "http://" + ln.Addr().String(), stop, nil
+	return &instance{url: "http://" + ln.Addr().String(), farm: f, reg: reg, stop: stop}, nil
 }

@@ -1,0 +1,104 @@
+package main
+
+// HTTP service telemetry: one middleware wrapping the whole mux that
+// counts requests per matched route, classifies response status, tracks
+// in-flight requests, times request durations, and emits one structured
+// (JSON, log/slog) access-log line per request stamped with a server-
+// assigned request ID. Metric families are cataloged in docs/SERVING.md
+// §Service telemetry.
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"prodigy/internal/telemetry"
+)
+
+// reqID is the server-lifetime request-ID source.
+var reqID atomic.Uint64
+
+// statusWriter observes the status code and body size a handler
+// produced. It forwards Flush so the sweep NDJSON streaming path keeps
+// flushing per line through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush keeps chunked NDJSON streaming working behind the wrapper
+// (obs.LineLog.Stream flushes via a Flush() assertion).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withTelemetry wraps next with the request-metrics and access-log
+// layer. reg and logger may each be nil to disable that half.
+func withTelemetry(next http.Handler, reg *telemetry.Registry, logger *slog.Logger) http.Handler {
+	inflight := reg.Gauge("http_in_flight",
+		"HTTP requests currently being served.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("r%06d", reqID.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		inflight.Add(1)
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		inflight.Add(-1)
+
+		// r.Pattern is the mux pattern that matched (e.g. "POST /sweeps"),
+		// so one route label covers every {id}; unmatched requests (404s)
+		// collapse into a single label instead of exploding cardinality.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		reg.Counter("http_requests_total",
+			"HTTP requests served, by matched route.",
+			"route", route).Inc()
+		reg.Counter("http_responses_total",
+			"HTTP responses, by matched route and status class.",
+			"route", route, "class", fmt.Sprintf("%dxx", status/100)).Inc()
+		reg.Histogram("http_request_duration_us",
+			"HTTP request duration, microseconds, by matched route.",
+			"route", route).Observe(dur.Microseconds())
+		if logger != nil {
+			logger.Info("request",
+				"id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", status,
+				"bytes", sw.bytes,
+				"dur_ms", float64(dur.Microseconds())/1e3,
+				"remote", r.RemoteAddr,
+			)
+		}
+	})
+}

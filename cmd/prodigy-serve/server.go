@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"prodigy/internal/exp/farm"
 	"prodigy/internal/statdiff"
+	"prodigy/internal/telemetry"
 )
 
 // server is the HTTP/JSON front end over a farm. Routes
@@ -16,30 +19,81 @@ import (
 //
 //	POST   /sweeps            submit a sweep; streams its NDJSON unless ?detach=1
 //	GET    /sweeps            list sweep statuses
-//	GET    /sweeps/{id}       one sweep's status
+//	GET    /sweeps/{id}       one sweep's status + live progress (ETA)
 //	GET    /sweeps/{id}/stream attach to a sweep's NDJSON (replay + live tail)
 //	DELETE /sweeps/{id}       cancel a sweep's in-flight and queued cells
 //	GET    /diff              compare two finished sweeps with the
 //	                          prodigy-stat diff reducer
-//	GET    /healthz           liveness
+//	GET    /metrics           Prometheus text exposition (service telemetry)
+//	GET    /varz              JSON snapshot of the same registry
+//	GET    /healthz           liveness: 200 "ok", 503 "draining" during shutdown
+//	/debug/pprof/...          runtime profiles (only with -pprof)
 type server struct {
 	farm *farm.Farm
+	reg  *telemetry.Registry
 }
 
-// newHandler wires the routes.
-func newHandler(f *farm.Farm) http.Handler {
-	s := &server{farm: f}
+// serverOpts bundles the optional front-end wiring.
+type serverOpts struct {
+	// reg receives HTTP telemetry and serves /metrics + /varz; nil
+	// disables both (the endpoints then serve empty documents).
+	reg *telemetry.Registry
+	// accessLog receives one structured line per request; nil disables.
+	accessLog *slog.Logger
+	// pprof exposes /debug/pprof (opt-in: profiles can stall a loaded
+	// service and leak operational detail).
+	pprof bool
+}
+
+// newHandler wires the routes behind the telemetry middleware.
+func newHandler(f *farm.Farm, opts serverOpts) http.Handler {
+	s := &server{farm: f, reg: opts.reg}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("POST /sweeps", s.postSweep)
 	mux.HandleFunc("GET /sweeps", s.listSweeps)
 	mux.HandleFunc("GET /sweeps/{id}", s.getSweep)
 	mux.HandleFunc("GET /sweeps/{id}/stream", s.streamSweep)
 	mux.HandleFunc("DELETE /sweeps/{id}", s.deleteSweep)
 	mux.HandleFunc("GET /diff", s.diff)
-	return mux
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /varz", s.varz)
+	if opts.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return withTelemetry(mux, opts.reg, opts.accessLog)
+}
+
+// healthz is drain-aware: once shutdown begins the server is still
+// serving (attached streams keep draining) but must not receive new
+// traffic, so load balancers get 503 instead of a lying 200.
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	if s.farm.ShuttingDown() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// metrics serves the Prometheus text exposition of the service
+// registry.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		_ = err // headers are out; nothing more to report
+	}
+}
+
+// varz serves the JSON snapshot of the same registry.
+func (s *server) varz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.WriteJSON(w); err != nil {
+		_ = err
+	}
 }
 
 // writeStatusJSON emits one sweep status (or any JSON value) with code.
@@ -66,6 +120,14 @@ func (s *server) postSweep(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		// An oversized body is the client's clearly-diagnosable problem,
+		// not a malformed spec: surface the cap instead of a generic 400.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("sweep spec exceeds the %d-byte limit", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "bad sweep spec: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -127,11 +189,18 @@ func (s *server) streamSweep(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) deleteSweep(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// Resolve the sweep first, then cancel through it: the old
+	// Cancel-then-Get pair could nil-deref if the sweep vanished between
+	// the two lookups.
+	sw, ok := s.farm.Get(id)
+	if !ok {
+		http.Error(w, "no such sweep", http.StatusNotFound)
+		return
+	}
 	if err := s.farm.Cancel(id); err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	sw, _ := s.farm.Get(id)
 	writeStatusJSON(w, http.StatusAccepted, sw.Status())
 }
 

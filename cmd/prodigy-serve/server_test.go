@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,9 +9,11 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"prodigy/internal/exp"
 	"prodigy/internal/exp/farm"
+	"prodigy/internal/telemetry"
 )
 
 // testCfg is the tiny machine the server tests sweep.
@@ -36,10 +39,11 @@ func mustStop(t *testing.T, stop func() error) {
 // server over the same cache directory replays byte-identically.
 func TestServerSweepLifecycleAndRestart(t *testing.T) {
 	dir := t.TempDir()
-	base, stop, err := serveOnLoopback(dir, testCfg())
+	inst, err := serveOnLoopback(dir, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
+	base, stop := inst.url, inst.stop
 
 	lines1, cached1, err := postSweepLines(base)
 	if err != nil {
@@ -51,7 +55,7 @@ func TestServerSweepLifecycleAndRestart(t *testing.T) {
 		t.Fatalf("first sweep: %d lines, %d cached; want 2, 0", len(lines1), cached1)
 	}
 
-	// Status surfaces: list and single-sweep.
+	// Status surfaces: list and single-sweep, including live progress.
 	var statuses []farm.Status
 	if err := getJSON(base+"/sweeps", &statuses); err != nil {
 		mustStop(t, stop)
@@ -69,6 +73,10 @@ func TestServerSweepLifecycleAndRestart(t *testing.T) {
 	if st.ID != statuses[0].ID || st.Cells != 2 {
 		mustStop(t, stop)
 		t.Fatalf("sweep status = %+v", st)
+	}
+	if st.InFlight != 0 || st.Queued != 0 || st.ElapsedMS <= 0 || st.EtaMS != 0 {
+		mustStop(t, stop)
+		t.Fatalf("finished sweep progress = %+v, want settled in_flight/queued and positive elapsed", st)
 	}
 
 	// Duplicate POST on the same server: full cache replay.
@@ -96,12 +104,12 @@ func TestServerSweepLifecycleAndRestart(t *testing.T) {
 	mustStop(t, stop)
 
 	// Reboot over the same cache directory: byte-identical replay.
-	base2, stop2, err := serveOnLoopback(dir, testCfg())
+	inst2, err := serveOnLoopback(dir, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	lines3, cached3, err := postSweepLines(base2)
-	mustStop(t, stop2)
+	lines3, cached3, err := postSweepLines(inst2.url)
+	mustStop(t, inst2.stop)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,11 +130,12 @@ func TestServerSweepLifecycleAndRestart(t *testing.T) {
 // cell accounted for (completed cells cached, the rest canceled).
 func TestServerDetachStreamDelete(t *testing.T) {
 	dir := t.TempDir()
-	base, stop, err := serveOnLoopback(dir, testCfg())
+	inst, err := serveOnLoopback(dir, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer mustStop(t, stop)
+	base := inst.url
+	defer mustStop(t, inst.stop)
 
 	resp, err := http.Post(base+"/sweeps?detach=1", "application/json", strings.NewReader(testSpec))
 	if err != nil {
@@ -183,14 +192,15 @@ func TestServerDetachStreamDelete(t *testing.T) {
 }
 
 // TestServerRejectsBadRequests pins the error surface: malformed specs,
-// unknown sweeps, and bad diff parameters.
+// unknown sweeps (including DELETE), and bad diff parameters.
 func TestServerRejectsBadRequests(t *testing.T) {
 	dir := t.TempDir()
-	base, stop, err := serveOnLoopback(dir, testCfg())
+	inst, err := serveOnLoopback(dir, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer mustStop(t, stop)
+	base := inst.url
+	defer mustStop(t, inst.stop)
 
 	for _, c := range []struct {
 		body string
@@ -227,6 +237,188 @@ func TestServerRejectsBadRequests(t *testing.T) {
 		if resp.StatusCode != http.StatusNotFound {
 			t.Errorf("GET %s = %d, want 404", url, resp.StatusCode)
 		}
+	}
+	// DELETE of an unknown sweep must 404, never nil-deref (the old
+	// handler read the sweep back unguarded after Cancel).
+	req, err := http.NewRequest(http.MethodDelete, base+"/sweeps/nosuch", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := dresp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE /sweeps/nosuch = %d, want 404", dresp.StatusCode)
+	}
+}
+
+// TestServerOversizedSpecIs413 pins the MaxBytesReader surface: a spec
+// over the 1 MiB cap must yield 413 with a clear message, not a generic
+// 400 "bad sweep spec".
+func TestServerOversizedSpecIs413(t *testing.T) {
+	dir := t.TempDir()
+	inst, err := serveOnLoopback(dir, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustStop(t, inst.stop)
+
+	huge := `{"algos":["` + strings.Repeat("x", 2<<20) + `"]}`
+	resp, err := http.Post(inst.url+"/sweeps", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized POST = %d (%s), want 413", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "limit") {
+		t.Errorf("oversized POST body %q does not name the limit", body)
+	}
+}
+
+// TestServerHealthzDrains pins the drain-aware liveness contract: 200
+// "ok" while serving, 503 "draining" once shutdown begins.
+func TestServerHealthzDrains(t *testing.T) {
+	dir := t.TempDir()
+	inst, err := serveOnLoopback(dir, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustStop(t, inst.stop)
+
+	resp, err := http.Get(inst.url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz = %d %q, want 200 ok", resp.StatusCode, body)
+	}
+
+	// Begin shutdown (the farm is idle, so this settles immediately);
+	// the HTTP listener is still up, and healthz must now say so.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := inst.farm.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(inst.url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("draining healthz = %d %q, want 503 draining", resp.StatusCode, body)
+	}
+}
+
+// TestServerMetricsEndpoints runs one live sweep and checks the whole
+// telemetry surface: /metrics agrees with the sweep's outcome and the
+// X-Sweep-Cached header, /varz parses as the JSON snapshot, responses
+// carry request IDs, and the farm gauges settle back to zero.
+func TestServerMetricsEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	inst, err := serveOnLoopback(dir, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := inst.url
+	defer mustStop(t, inst.stop)
+
+	lines, cached, err := postSweepLines(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 || cached != 0 {
+		t.Fatalf("sweep streamed %d lines, %d cached", len(lines), cached)
+	}
+	if err := checkCacheCounters(base, 2, cached); err != nil {
+		t.Error(err)
+	}
+
+	body, err := fetchBody(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for series, want := range map[string]float64{
+		"farm_cache_misses_total":                   2,
+		"farm_cache_hits_total":                     0,
+		`farm_cells_total{state="simulated"}`:       2,
+		"farm_sweeps_total":                         1,
+		"farm_sweeps_active":                        0,
+		"farm_queue_depth":                          0,
+		"farm_cells_inflight":                       0,
+		`stream_lines_total{phase="tail"}`:          2,
+		`http_requests_total{route="POST /sweeps"}`: 1,
+	} {
+		if got, ok := metricValue(body, series); !ok || got != want {
+			t.Errorf("metric %s = %v (present=%v), want %v", series, got, ok, want)
+		}
+	}
+	// Per-cell wall histograms and store latencies exist with samples.
+	for _, series := range []string{
+		`farm_cell_wall_us_count{algo="bfs",scheme="prodigy"}`,
+		`farm_cell_wall_us_count{algo="bfs",scheme="none"}`,
+		"farm_store_append_us_count",
+		"farm_store_fsync_us_count",
+		`http_request_duration_us_count{route="POST /sweeps"}`,
+	} {
+		if got, ok := metricValue(body, series); !ok || got < 1 {
+			t.Errorf("metric %s = %v (present=%v), want >= 1", series, got, ok)
+		}
+	}
+
+	// /varz: same registry as JSON, with histogram reductions.
+	var snap []telemetry.FamilySnapshot
+	if err := getJSON(base+"/varz", &snap); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, f := range snap {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"farm_cache_misses_total", "farm_cell_wall_us", "http_requests_total", "stream_bytes_total"} {
+		if !names[want] {
+			t.Errorf("/varz is missing family %s", want)
+		}
+	}
+
+	// Every response is stamped with a request ID.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("response has no X-Request-Id header")
+	}
+
+	// pprof stays dark unless opted in.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /debug/pprof/ without -pprof = %d, want 404", resp.StatusCode)
 	}
 }
 

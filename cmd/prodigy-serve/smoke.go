@@ -9,9 +9,12 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"prodigy/internal/exp"
+	"prodigy/internal/exp/farm"
 )
 
 // smokeSpec is the quick grid the smoke test sweeps: two schemes of one
@@ -44,10 +47,98 @@ func postSweepLines(baseURL string) (lines []string, cached int, err error) {
 	return lines, cached, sc.Err()
 }
 
+// postDetached submits the smoke sweep with ?detach=1 and returns its
+// accepted status plus the X-Sweep-Cached header.
+func postDetached(baseURL string) (st farm.Status, cached int, err error) {
+	resp, err := http.Post(baseURL+"/sweeps?detach=1", "application/json", strings.NewReader(smokeSpec))
+	if err != nil {
+		return st, 0, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		return st, 0, cerr
+	}
+	if rerr != nil {
+		return st, 0, rerr
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return st, 0, fmt.Errorf("POST /sweeps?detach=1: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	if _, err := fmt.Sscan(resp.Header.Get("X-Sweep-Cached"), &cached); err != nil {
+		return st, 0, fmt.Errorf("bad X-Sweep-Cached header %q", resp.Header.Get("X-Sweep-Cached"))
+	}
+	return st, cached, json.Unmarshal(body, &st)
+}
+
+// fetchBody GETs url and returns the body on a 200.
+func fetchBody(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		return "", cerr
+	}
+	if rerr != nil {
+		return "", rerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	return string(body), nil
+}
+
+// fetchJSON GETs url and decodes the JSON body into v.
+func fetchJSON(url string, v any) error {
+	body, err := fetchBody(url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal([]byte(body), v)
+}
+
+// metricValue scans a Prometheus text exposition for the sample whose
+// series (name plus rendered labels) is exactly series, returning its
+// value.
+func metricValue(exposition, series string) (float64, bool) {
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+// checkCacheCounters asserts the farm's cache-hit/miss counters agree
+// with what the sweep's X-Sweep-Cached header claimed.
+func checkCacheCounters(baseURL string, cells, cachedHdr int) error {
+	body, err := fetchBody(baseURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	hits, ok := metricValue(body, "farm_cache_hits_total")
+	if !ok {
+		return fmt.Errorf("/metrics has no farm_cache_hits_total sample")
+	}
+	misses, ok := metricValue(body, "farm_cache_misses_total")
+	if !ok {
+		return fmt.Errorf("/metrics has no farm_cache_misses_total sample")
+	}
+	if int(hits) != cachedHdr || int(misses) != cells-cachedHdr {
+		return fmt.Errorf("cache counters (hits=%v misses=%v) disagree with X-Sweep-Cached=%d of %d cells",
+			hits, misses, cachedHdr, cells)
+	}
+	return nil
+}
+
 // runSmoke is the self-contained `make serve-smoke` body: two server
 // generations over one temporary cache directory prove that a sweep
-// streams well-formed NDJSON, persists its cells, and replays them
-// byte-identically after a full restart without re-simulating.
+// streams well-formed NDJSON, persists its cells, replays them
+// byte-identically after a full restart without re-simulating, and that
+// the service telemetry (/metrics) agrees with the sweep headers —
+// scraped both mid-sweep and after completion.
 func runSmoke(stdout, stderr io.Writer) int {
 	fail := func(format string, args ...any) int {
 		fmt.Fprintf(stderr, "serve-smoke: FAIL: "+format+"\n", args...)
@@ -63,21 +154,66 @@ func runSmoke(stdout, stderr io.Writer) int {
 	cfg.Datasets = []string{"po"}
 	cfg.Parallelism = 2
 
-	// Generation 1: simulate and cache.
-	url1, stop1, err := serveOnLoopback(dir, cfg)
+	// Generation 1: simulate and cache. The sweep is detached so the
+	// smoke can scrape /metrics while cells are in flight.
+	inst1, err := serveOnLoopback(dir, cfg)
 	if err != nil {
 		return fail("boot: %v", err)
 	}
-	first, cached, err := postSweepLines(url1)
+	st, cached, err := postDetached(inst1.url)
 	if err != nil {
-		_ = stop1()
+		_ = inst1.stop()
 		return fail("first sweep: %v", err)
 	}
-	if serr := stop1(); serr != nil {
-		return fail("first shutdown: %v", serr)
-	}
 	if cached != 0 {
+		_ = inst1.stop()
 		return fail("fresh cache reported %d cached cells", cached)
+	}
+	// Mid-sweep scrapes: the telemetry surface must be present and
+	// well-formed while simulations run (at least one scrape happens
+	// before the done check can observe completion).
+	for {
+		body, merr := fetchBody(inst1.url + "/metrics")
+		if merr != nil {
+			_ = inst1.stop()
+			return fail("mid-sweep /metrics: %v", merr)
+		}
+		for _, series := range []string{
+			"# TYPE farm_cache_misses_total counter",
+			"# TYPE farm_sweeps_active gauge",
+			"# TYPE http_requests_total counter",
+		} {
+			if !strings.Contains(body, series) {
+				_ = inst1.stop()
+				return fail("mid-sweep /metrics is missing %q", series)
+			}
+		}
+		var cur farm.Status
+		if serr := fetchJSON(inst1.url+"/sweeps/"+st.ID, &cur); serr != nil {
+			_ = inst1.stop()
+			return fail("mid-sweep status: %v", serr)
+		}
+		if cur.Done {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Collect the finished stream (full replay of the sweep's history).
+	first, err := fetchLines(inst1.url + "/sweeps/" + st.ID + "/stream")
+	if err != nil {
+		_ = inst1.stop()
+		return fail("first sweep stream: %v", err)
+	}
+	if err := checkCacheCounters(inst1.url, st.Cells, cached); err != nil {
+		_ = inst1.stop()
+		return fail("first sweep: %v", err)
+	}
+	if reqs, ok := metricsRequestCount(inst1.url); !ok || reqs < 1 {
+		_ = inst1.stop()
+		return fail("http_requests_total for POST /sweeps missing or zero (got %v, %v)", reqs, ok)
+	}
+	if serr := inst1.stop(); serr != nil {
+		return fail("first shutdown: %v", serr)
 	}
 	if len(first) != 2 {
 		return fail("first sweep streamed %d lines, want 2: %v", len(first), first)
@@ -93,21 +229,27 @@ func runSmoke(stdout, stderr io.Writer) int {
 	}
 
 	// Generation 2: a fresh process image over the same cache directory
-	// must replay both cells byte-identically without simulating.
-	url2, stop2, err := serveOnLoopback(dir, cfg)
+	// must replay both cells byte-identically without simulating, and its
+	// (fresh) registry must count both cells as cache hits.
+	inst2, err := serveOnLoopback(dir, cfg)
 	if err != nil {
 		return fail("reboot: %v", err)
 	}
-	second, cached2, err := postSweepLines(url2)
+	second, cached2, err := postSweepLines(inst2.url)
 	if err != nil {
-		_ = stop2()
+		_ = inst2.stop()
 		return fail("replay sweep: %v", err)
 	}
-	if serr := stop2(); serr != nil {
-		return fail("second shutdown: %v", serr)
-	}
 	if cached2 != 2 {
+		_ = inst2.stop()
 		return fail("restarted server cached %d/2 cells", cached2)
+	}
+	if err := checkCacheCounters(inst2.url, 2, cached2); err != nil {
+		_ = inst2.stop()
+		return fail("replay sweep: %v", err)
+	}
+	if serr := inst2.stop(); serr != nil {
+		return fail("second shutdown: %v", serr)
 	}
 	// The first stream is in completion order, the replay in grid order;
 	// compare as sets of byte-identical lines.
@@ -123,6 +265,31 @@ func runSmoke(stdout, stderr io.Writer) int {
 			return fail("replay not byte-identical:\n  first:  %s\n  replay: %s", a[i], b[i])
 		}
 	}
-	fmt.Fprintln(stdout, "serve-smoke: ok (2 cells simulated once, cached replay byte-identical across restart)")
+	fmt.Fprintln(stdout, "serve-smoke: ok (2 cells simulated once, cached replay byte-identical across restart, /metrics consistent with X-Sweep-Cached)")
 	return 0
+}
+
+// fetchLines GETs an NDJSON stream and returns its non-empty lines.
+func fetchLines(url string) ([]string, error) {
+	body, err := fetchBody(url)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, line := range strings.Split(body, "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			lines = append(lines, line)
+		}
+	}
+	return lines, nil
+}
+
+// metricsRequestCount reads http_requests_total for the sweep-submit
+// route.
+func metricsRequestCount(baseURL string) (float64, bool) {
+	body, err := fetchBody(baseURL + "/metrics")
+	if err != nil {
+		return 0, false
+	}
+	return metricValue(body, `http_requests_total{route="POST /sweeps"}`)
 }

@@ -106,6 +106,13 @@ type Config struct {
 	// Aborted runs are also logged, tagged with which guard killed them
 	// (timeout, max-cycles, deadlock).
 	JSONLog io.Writer
+	// CellStart, when non-nil, is invoked by a sweep worker the moment it
+	// picks a cell off the queue, just before its simulation (or
+	// memo-cache wait) begins; the label matches the one later emitted on
+	// the cell's JSONLog line. The sweep service (internal/exp/farm) uses
+	// it for queue-depth and in-flight telemetry. It is called from
+	// worker goroutines concurrently and must not block.
+	CellStart func(label string)
 	// Obs, when non-nil, builds a per-run observability recorder (see
 	// internal/obs) keyed by the run's "label/scheme" cell name. The
 	// returned close function is called after the run; its error fails

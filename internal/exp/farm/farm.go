@@ -24,10 +24,12 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"prodigy/internal/exp"
 	"prodigy/internal/graph"
 	"prodigy/internal/obs"
+	"prodigy/internal/telemetry"
 	"prodigy/internal/workloads"
 )
 
@@ -44,6 +46,11 @@ type Config struct {
 	// LogDir, when non-empty, receives one <id>.jsonl per sweep holding
 	// exactly the NDJSON the sweep streamed (obs.SweepLogPath routing).
 	LogDir string
+	// Metrics, when non-nil, receives the farm's service telemetry
+	// (cells, cache hit rate, queue depth, per-cell wall-clock, stream
+	// and store latencies — metrics.go catalogs the families). Nil
+	// disables instrumentation; every site is nil-safe.
+	Metrics *telemetry.Registry
 }
 
 // ErrShutdown rejects work submitted after Shutdown began.
@@ -63,11 +70,24 @@ type Farm struct {
 	// simulation is then interrupted with exp.AbortShutdown.
 	draining atomic.Bool
 	wg       sync.WaitGroup
+
+	met farmMetrics
 }
 
 // New builds a farm.
 func New(cfg Config) *Farm {
-	return &Farm{cfg: cfg, sweeps: map[string]*Sweep{}}
+	if cfg.Store != nil {
+		cfg.Store.Instrument(cfg.Metrics)
+	}
+	return &Farm{cfg: cfg, sweeps: map[string]*Sweep{}, met: newFarmMetrics(cfg.Metrics)}
+}
+
+// ShuttingDown reports whether Shutdown has begun: the farm rejects new
+// sweeps and the HTTP front end's /healthz reports "draining".
+func (f *Farm) ShuttingDown() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
 }
 
 // Spec is the wire form of one sweep request: the requested cells are
@@ -154,6 +174,16 @@ type Status struct {
 	Aborted   int  `json:"aborted"`
 	Done      bool `json:"done"`
 	Canceled  bool `json:"canceled"`
+	// Live progress: InFlight cells are simulating right now, Queued are
+	// accepted but not yet picked up by a worker (both 0 once Done).
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+	// ElapsedMS is wall clock since submission (frozen at completion).
+	// EtaMS extrapolates the remaining cells from the rate of completed
+	// live simulations; it is 0 (omitted) while no live cell has finished
+	// and once the sweep is done.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	EtaMS     float64 `json:"eta_ms,omitempty"`
 	// Err carries the joined cell errors of a finished sweep ("" while
 	// running or on full success).
 	Err string `json:"error,omitempty"`
@@ -188,8 +218,14 @@ type Sweep struct {
 	cached    int
 	simulated int
 	aborted   int
-	err       error
-	file      *os.File
+	inflight  int
+	queued    int
+	// started/finished bound the sweep's wall-clock window (service
+	// telemetry only; simulated results never read them).
+	started  time.Time
+	finished time.Time
+	err      error
+	file     *os.File
 }
 
 // Start validates spec, registers a new sweep, and launches it. Cached
@@ -214,11 +250,14 @@ func (f *Farm) Start(spec Spec) (*Sweep, error) {
 		Log:       obs.NewLineLog(),
 		done:      make(chan struct{}),
 	}
+	s.started = time.Now() //lint:allow determinism service telemetry wall clock; simulated results never read it
+	s.Log.Instrument(f.met.stream)
 	hcfg := f.cfg.Exp
 	hcfg.Progress = nil
 	hcfg.ReleaseWorkloads = true
 	hcfg.Interrupt = s.interruptCause
 	hcfg.JSONLog = sweepWriter{s}
+	hcfg.CellStart = s.cellStarted
 	s.h = exp.New(hcfg)
 	for i, c := range cells {
 		key, err := s.h.CellKey(c.Algo, c.Dataset, c.Scheme)
@@ -265,11 +304,20 @@ func (f *Farm) Start(spec Spec) (*Sweep, error) {
 				s.mu.Lock()
 				s.cached++
 				s.mu.Unlock()
+				f.met.cacheHits.Inc()
+				f.met.cellsCached.Inc()
 				continue
 			}
 		}
 		s.torun = append(s.torun, c)
+		f.met.cacheMisses.Inc()
 	}
+	s.mu.Lock()
+	s.queued = len(s.torun)
+	s.mu.Unlock()
+	f.met.sweepsTotal.Inc()
+	f.met.activeSweeps.Add(1)
+	f.met.queueDepth.Add(int64(len(s.torun)))
 
 	go s.run()
 	return s, nil
@@ -371,7 +419,10 @@ func (s *Sweep) Err() error {
 	return s.err
 }
 
-// Status snapshots progress.
+// Status snapshots progress, including the live view: in-flight and
+// queued cells, elapsed wall clock, and an ETA extrapolated from the
+// completed-cell rate (remaining ÷ cells-per-second so far; the worker
+// pool's parallelism is already reflected in that rate).
 func (s *Sweep) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -382,15 +433,28 @@ func (s *Sweep) Status() Status {
 		Simulated: s.simulated,
 		Aborted:   s.aborted,
 		Canceled:  s.cancelCause.Load() != nil,
+		InFlight:  s.inflight,
+		Queued:    s.queued,
 		Spec:      s.spec,
 	}
+	end := s.finished
+	if end.IsZero() {
+		end = time.Now() //lint:allow determinism service telemetry wall clock; simulated results never read it
+	}
+	elapsed := end.Sub(s.started)
+	st.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
 	select {
 	case <-s.done:
 		st.Done = true
+		st.InFlight, st.Queued = 0, 0
 		if s.err != nil {
 			st.Err = s.err.Error()
 		}
 	default:
+		if done := s.simulated + s.aborted; done > 0 {
+			remaining := s.inflight + s.queued
+			st.EtaMS = st.ElapsedMS * float64(remaining) / float64(done)
+		}
 	}
 	return st
 }
@@ -417,6 +481,7 @@ func (s *Sweep) run() {
 	defer close(s.done)
 	defer s.Log.Close()
 	defer s.closeFile()
+	defer s.settle()
 
 	if len(s.torun) == 0 {
 		return
@@ -425,6 +490,34 @@ func (s *Sweep) run() {
 	s.mu.Lock()
 	s.err = err
 	s.mu.Unlock()
+}
+
+// settle reconciles the farm gauges when the sweep finishes. Cells that
+// died without a summary line (a harness-level failure ahead of the
+// simulation, e.g. a dataset build error) would otherwise leak queue or
+// in-flight counts forever.
+func (s *Sweep) settle() {
+	s.mu.Lock()
+	leakedQ, leakedIF := s.queued, s.inflight
+	s.queued, s.inflight = 0, 0
+	s.finished = time.Now() //lint:allow determinism service telemetry wall clock; simulated results never read it
+	s.mu.Unlock()
+	m := &s.farm.met
+	m.queueDepth.Add(-int64(leakedQ))
+	m.inflight.Add(-int64(leakedIF))
+	m.activeSweeps.Add(-1)
+}
+
+// cellStarted is the harness CellStart hook: a worker picked up one of
+// this sweep's cells.
+func (s *Sweep) cellStarted(string) {
+	s.mu.Lock()
+	s.queued--
+	s.inflight++
+	s.mu.Unlock()
+	m := &s.farm.met
+	m.queueDepth.Add(-1)
+	m.inflight.Add(1)
 }
 
 // emit routes one NDJSON line (no trailing newline) to the live stream
@@ -469,7 +562,16 @@ func (s *Sweep) observe(line []byte) {
 	} else {
 		s.aborted++
 	}
+	s.inflight--
 	s.mu.Unlock()
+	m := &s.farm.met
+	m.inflight.Add(-1)
+	if sum.Abort == "" {
+		m.cellsSimulated.Inc()
+		m.cellWall(sum.Label, sum.Scheme, sum.WallMS)
+	} else {
+		m.cellAborted(sum.Abort)
+	}
 	if sum.Abort != "" || sum.Variant != "" || s.farm.cfg.Store == nil {
 		return
 	}

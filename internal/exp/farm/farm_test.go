@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -12,6 +13,7 @@ import (
 
 	"prodigy/internal/exp"
 	"prodigy/internal/obs"
+	"prodigy/internal/telemetry"
 )
 
 // quickCfg is the tiny sweep configuration the farm tests run under: one
@@ -388,4 +390,130 @@ func TestStoreSkipsCorruptLines(t *testing.T) {
 	if line, _ := s.Get("k1"); string(line) != `{"label":"x"}` {
 		t.Errorf("re-put overwrote k1: %q", line)
 	}
+}
+
+// snapValue reads one counter/gauge sample out of a registry snapshot;
+// want holds the expected label pairs (nil for an unlabeled sample).
+func snapValue(t *testing.T, reg *telemetry.Registry, family string, want map[string]string) int64 {
+	t.Helper()
+	for _, f := range reg.Snapshot() {
+		if f.Name != family {
+			continue
+		}
+		for _, sm := range f.Samples {
+			if len(sm.Labels) != len(want) {
+				continue
+			}
+			match := true
+			for k, v := range want {
+				if sm.Labels[k] != v {
+					match = false
+				}
+			}
+			if match && sm.Value != nil {
+				return *sm.Value
+			}
+		}
+	}
+	t.Fatalf("registry has no %s%v sample", family, want)
+	return 0
+}
+
+// TestFarmMetricsSettleAfterSweep runs a live sweep with a telemetry
+// registry attached while scrapers hammer both exposition formats
+// concurrently (meaningful under -race), then checks the counters agree
+// with the sweep's outcome, the gauges settle back to zero, and a
+// second, fully-cached sweep moves only the hit-side counters.
+func TestFarmMetricsSettleAfterSweep(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := store.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	reg := telemetry.NewRegistry()
+	f := New(Config{Exp: quickCfg(2), Store: store, LogDir: dir, Metrics: reg})
+
+	sw, err := f.Start(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scrapers race the sweep's counter/gauge/histogram writes.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if err := reg.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+						return
+					}
+					if err := reg.WriteJSON(io.Discard); err != nil {
+						t.Errorf("WriteJSON: %v", err)
+						return
+					}
+					_ = sw.Status()
+				}
+			}
+		}()
+	}
+	<-sw.Done()
+	close(stop)
+	wg.Wait()
+	if err := sw.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(family string, labels map[string]string, want int64) {
+		t.Helper()
+		if got := snapValue(t, reg, family, labels); got != want {
+			t.Errorf("%s%v = %d, want %d", family, labels, got, want)
+		}
+	}
+	check("farm_cache_misses_total", nil, 2)
+	check("farm_cache_hits_total", nil, 0)
+	check("farm_cells_total", map[string]string{"state": "simulated"}, 2)
+	check("farm_cells_total", map[string]string{"state": "cached"}, 0)
+	check("farm_sweeps_total", nil, 1)
+	check("farm_sweeps_active", nil, 0)
+	check("farm_queue_depth", nil, 0)
+	check("farm_cells_inflight", nil, 0)
+
+	// One wall-clock sample per live-simulated cell, split by scheme.
+	var histSamples uint64
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != "farm_cell_wall_us" {
+			continue
+		}
+		for _, sm := range fam.Samples {
+			if sm.Hist != nil {
+				histSamples += sm.Hist.Count
+			}
+		}
+	}
+	if histSamples != 2 {
+		t.Errorf("farm_cell_wall_us recorded %d samples, want 2", histSamples)
+	}
+
+	// Second sweep replays everything from the cache.
+	sw2, err := f.Start(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sw2.Done()
+	check("farm_cache_hits_total", nil, 2)
+	check("farm_cache_misses_total", nil, 2)
+	check("farm_cells_total", map[string]string{"state": "cached"}, 2)
+	check("farm_sweeps_total", nil, 2)
+	check("farm_sweeps_active", nil, 0)
 }

@@ -7,6 +7,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"prodigy/internal/telemetry"
 )
 
 // Store is the durable result cache behind the sweep service: one
@@ -25,6 +28,23 @@ type Store struct {
 	// Skipped counts unparsable lines ignored while loading (e.g. a line
 	// truncated by a crash mid-append).
 	Skipped int
+
+	// appendH/fsyncH time Put's write and sync phases (µs); nil (the
+	// default) records nothing. Set via Instrument.
+	appendH *telemetry.Histogram
+	fsyncH  *telemetry.Histogram
+}
+
+// Instrument attaches service telemetry: Put records its append and
+// fsync wall-clock latencies into the registry's farm_store_append_us
+// and farm_store_fsync_us histograms. A nil registry detaches.
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appendH = reg.Histogram("farm_store_append_us",
+		"Result-cache append (write) wall-clock latency, microseconds.")
+	s.fsyncH = reg.Histogram("farm_store_fsync_us",
+		"Result-cache fsync wall-clock latency, microseconds.")
 }
 
 // storeEntry is one persisted line of results.jsonl.
@@ -107,12 +127,18 @@ func (s *Store) Put(key string, summary []byte) error {
 	if err != nil {
 		return fmt.Errorf("farm: encode cache entry: %w", err)
 	}
+	start := time.Now() //lint:allow determinism store latency telemetry; simulated results never read it
 	if _, err := s.f.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("farm: append result cache: %w", err)
 	}
+	//lint:allow determinism store latency telemetry; simulated results never read it
+	wrote := time.Now()
+	s.appendH.Observe(wrote.Sub(start).Microseconds())
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("farm: sync result cache: %w", err)
 	}
+	//lint:allow determinism store latency telemetry; simulated results never read it
+	s.fsyncH.Observe(time.Since(wrote).Microseconds())
 	s.entries[key] = append([]byte(nil), summary...)
 	return nil
 }

@@ -103,6 +103,9 @@ func (h *Harness) warm(l jobList) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for j := range jobc {
+				if h.Cfg.CellStart != nil {
+					h.Cfg.CellStart(j.label())
+				}
 				start := time.Now() //lint:allow determinism host wall time feeds the progress meter, not results
 				_, err := h.run(j.algo, j.dataset, j.scheme, j.v)
 				if err != nil {

@@ -12,6 +12,8 @@ import (
 	"io"
 	"path/filepath"
 	"sync"
+
+	"prodigy/internal/telemetry"
 )
 
 // LineLog is a thread-safe append-only line log with replay semantics:
@@ -26,6 +28,35 @@ type LineLog struct {
 	// changed is closed-and-replaced on every append and on Close, waking
 	// all pending Stream calls.
 	changed chan struct{}
+	// met counts streaming activity (see StreamMetrics); the zero value
+	// records nothing.
+	met StreamMetrics
+}
+
+// StreamMetrics is the optional service-telemetry hookup for a LineLog:
+// how many subscribers are attached, how many bytes have been streamed,
+// and how many lines were delivered as replayed history versus live
+// tail. Every field is nil-safe, so a zero StreamMetrics (the default)
+// costs a few nil checks per line. This is wall-clock *service*
+// telemetry — it observes who is reading a sweep's stream and never
+// affects the streamed bytes themselves.
+type StreamMetrics struct {
+	// Subscribers is incremented for the duration of each Stream call.
+	Subscribers *telemetry.Gauge
+	// Bytes counts streamed bytes, including the newline per line.
+	Bytes *telemetry.Counter
+	// ReplayLines counts lines a subscriber received that existed before
+	// it attached; TailLines counts lines it watched arrive live.
+	ReplayLines *telemetry.Counter
+	TailLines   *telemetry.Counter
+}
+
+// Instrument attaches stream telemetry. Call before the first Stream;
+// typically once, right after NewLineLog.
+func (l *LineLog) Instrument(m StreamMetrics) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.met = m
 }
 
 // NewLineLog returns an empty open log.
@@ -103,6 +134,14 @@ func (l *LineLog) next(from int) ([][]byte, bool, <-chan struct{}) {
 	return l.lines[from:], l.closed, l.changed
 }
 
+// metrics returns the attached stream telemetry and the current line
+// count (the replay/tail boundary for a subscriber attaching now).
+func (l *LineLog) metrics() (StreamMetrics, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.met, len(l.lines)
+}
+
 // Stream copies every line — full history first, then live appends — to
 // w, newline-terminated, returning when the log is closed (nil error),
 // the context is canceled (ctx.Err()), or a write fails. Batches are
@@ -111,6 +150,9 @@ func (l *LineLog) next(from int) ([][]byte, bool, <-chan struct{}) {
 // returns the number of lines written.
 func (l *LineLog) Stream(ctx context.Context, w io.Writer) (int, error) {
 	type flusher interface{ Flush() }
+	met, replayEnd := l.metrics()
+	met.Subscribers.Add(1)
+	defer met.Subscribers.Add(-1)
 	n := 0
 	for {
 		lines, closed, changed := l.next(n)
@@ -120,6 +162,12 @@ func (l *LineLog) Stream(ctx context.Context, w io.Writer) (int, error) {
 			buf = append(buf, '\n')
 			if _, err := w.Write(buf); err != nil {
 				return n, err
+			}
+			met.Bytes.Add(uint64(len(buf)))
+			if n < replayEnd {
+				met.ReplayLines.Inc()
+			} else {
+				met.TailLines.Inc()
 			}
 			n++
 		}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"sync"
 	"testing"
+
+	"prodigy/internal/telemetry"
 )
 
 // TestLineLogReplayThenTail checks the subscriber contract: a client
@@ -105,4 +107,67 @@ func TestLineLogConcurrentSubscribers(t *testing.T) {
 			t.Errorf("client %d stream differs from client 0", i)
 		}
 	}
+}
+
+// TestLineLogStreamMetrics pins the instrumentation contract: lines a
+// subscriber receives are attributed to the replay phase when they
+// predate its subscription and to the tail phase otherwise, bytes count
+// the framed NDJSON, and the subscriber gauge tracks attachment.
+func TestLineLogStreamMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := StreamMetrics{
+		Subscribers: reg.Gauge("stream_subscribers", ""),
+		Bytes:       reg.Counter("stream_bytes_total", ""),
+		ReplayLines: reg.Counter("stream_lines_total", "", "phase", "replay"),
+		TailLines:   reg.Counter("stream_lines_total", "", "phase", "tail"),
+	}
+	l := NewLineLog()
+	l.Instrument(m)
+	l.Append([]byte("one"))
+
+	// firstWrite closes once the subscriber has received the replayed
+	// history, so the next Append is deterministically a tail line.
+	w := &signalWriter{first: make(chan struct{})}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Stream(context.Background(), w)
+		done <- err
+	}()
+	<-w.first
+	if got := m.Subscribers.Value(); got != 1 {
+		t.Errorf("subscriber gauge mid-stream = %d, want 1", got)
+	}
+	l.Append([]byte("two"))
+	l.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	if got := w.buf.String(); got != "one\ntwo\n" {
+		t.Fatalf("streamed %q", got)
+	}
+	if got := m.ReplayLines.Value(); got != 1 {
+		t.Errorf("replay lines = %d, want 1", got)
+	}
+	if got := m.TailLines.Value(); got != 1 {
+		t.Errorf("tail lines = %d, want 1", got)
+	}
+	if got := m.Bytes.Value(); got != uint64(len("one\ntwo\n")) {
+		t.Errorf("bytes = %d, want %d", got, len("one\ntwo\n"))
+	}
+	if got := m.Subscribers.Value(); got != 0 {
+		t.Errorf("subscriber gauge after close = %d, want 0", got)
+	}
+}
+
+// signalWriter closes first on its first Write.
+type signalWriter struct {
+	buf   bytes.Buffer
+	first chan struct{}
+	once  sync.Once
+}
+
+func (w *signalWriter) Write(p []byte) (int, error) {
+	w.once.Do(func() { close(w.first) })
+	return w.buf.Write(p)
 }

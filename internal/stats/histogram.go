@@ -57,6 +57,10 @@ func (h *Histogram) Record(lat int64) {
 // Total returns the number of recorded samples.
 func (h *Histogram) Total() uint64 { return h.total }
 
+// Sum returns the sum of all recorded samples (the Prometheus
+// histogram _sum series in internal/telemetry).
+func (h *Histogram) Sum() uint64 { return h.sum }
+
 // Max returns the largest recorded sample (0 when empty).
 func (h *Histogram) Max() int64 { return h.max }
 

@@ -1,0 +1,86 @@
+package telemetry
+
+// Prometheus text exposition (version 0.0.4): the GET /metrics body.
+// Families are written in sorted name order and children in sorted
+// label order, so the output for a fixed set of values is byte-stable
+// (the golden exposition test pins it).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"prodigy/internal/stats"
+)
+
+// histLE is the fixed ladder of cumulative `le` bounds every histogram
+// exposes. The bounds align with stats.Histogram's bucket edges — powers
+// of two through the exact region, then each power-of-two bucket's upper
+// edge — so a bound never splits an underlying bucket and cumulative
+// counts are exact. The final open-ended stats bucket lands in +Inf.
+var histLE = func() []int64 {
+	bounds := []int64{0}
+	for b := int64(1); b <= 256; b <<= 1 {
+		bounds = append(bounds, b)
+	}
+	bounds = append(bounds, 511)
+	for lo := int64(512); lo <= 512<<22; lo <<= 1 {
+		bounds = append(bounds, 2*lo-1)
+	}
+	return bounds
+}()
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format. Safe on a nil registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.ordered() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, m := range f.ordered() {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, m.labels, m.c.Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, m.labels, m.g.Value())
+			case kindHistogram:
+				writePromHistogram(bw, f.name, m.labels, m.h.snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// withLE splices an `le` bound into a rendered label block.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// writePromHistogram renders one histogram child: cumulative _bucket
+// lines over the fixed bound ladder, then _sum and _count.
+func writePromHistogram(w io.Writer, name, labels string, h stats.Histogram) {
+	buckets := h.Buckets()
+	var cum uint64
+	bi := 0
+	for _, le := range histLE {
+		for bi < len(buckets) && buckets[bi].Hi <= le {
+			cum += buckets[bi].Count
+			bi++
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(labels, fmt.Sprint(le)), cum)
+	}
+	for ; bi < len(buckets); bi++ {
+		cum += buckets[bi].Count
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(labels, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Total())
+}

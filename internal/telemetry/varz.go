@@ -1,0 +1,96 @@
+package telemetry
+
+// JSON snapshot (the GET /varz body): the same registry content as the
+// Prometheus exposition, but pre-reduced for humans and scripts —
+// histograms carry count/sum/mean/max and the p50/p99 tail instead of
+// the full bucket ladder. Families and samples are emitted in the same
+// sorted order as the text exposition.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// FamilySnapshot is one metric family in the /varz JSON body.
+type FamilySnapshot struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"`
+	Help    string   `json:"help,omitempty"`
+	Samples []Sample `json:"samples"`
+}
+
+// Sample is one labeled child. Counters and gauges set Value;
+// histograms set Hist.
+type Sample struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *int64            `json:"value,omitempty"`
+	Hist   *HistSnapshot     `json:"hist,omitempty"`
+}
+
+// HistSnapshot reduces one histogram child.
+type HistSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot reduces the registry to its JSON form. Safe on a nil
+// registry (returns nil).
+func (r *Registry) Snapshot() []FamilySnapshot {
+	if r == nil {
+		return nil
+	}
+	fams := r.ordered()
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Kind: f.kind.String(), Help: f.help}
+		for _, m := range f.ordered() {
+			s := Sample{Labels: labelMap(m.pairs)}
+			switch f.kind {
+			case kindCounter:
+				v := int64(m.c.Value())
+				s.Value = &v
+			case kindGauge:
+				v := m.g.Value()
+				s.Value = &v
+			case kindHistogram:
+				h := m.h.snapshot()
+				s.Hist = &HistSnapshot{
+					Count: h.Total(),
+					Sum:   h.Sum(),
+					Mean:  h.Mean(),
+					Max:   h.Max(),
+					P50:   h.Percentile(0.50),
+					P99:   h.Percentile(0.99),
+				}
+			}
+			fs.Samples = append(fs.Samples, s)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WriteJSON writes the indented JSON snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// labelMap converts a sorted flat pair list to a map for JSON
+// rendering (encoding/json emits map keys sorted, keeping the body
+// deterministic).
+func labelMap(pairs []string) map[string]string {
+	if len(pairs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		m[pairs[i]] = pairs[i+1]
+	}
+	return m
+}
